@@ -1,0 +1,133 @@
+//! Criterion benches of the real Rust kernels at native speed (via
+//! `NullExec`) — one group per table/figure they feed — plus the
+//! simulators themselves, so regressions in either the numerics or the
+//! modelling layer show up here.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mb_cpu::exec_model::ModelExec;
+use mb_cpu::ops::NullExec;
+use mb_kernels::chess;
+use mb_kernels::coremark::CoreMark;
+use mb_kernels::linpack::Linpack;
+use mb_kernels::magicfilter::{magicfilter_3d, Grid3};
+use mb_kernels::membench::{make_buffer, run as membench_run, run_model, MembenchConfig};
+use mb_kernels::specfem::{Specfem, SpecfemConfig};
+
+/// Table II kernels at native speed.
+fn bench_table2_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2/native");
+
+    g.bench_function("linpack_n96", |b| {
+        b.iter(|| {
+            let mut lp = Linpack::new(96, 42);
+            lp.factorize(&mut NullExec);
+            black_box(lp.solve(&mut NullExec))
+        })
+    });
+
+    g.bench_function("coremark_4iters", |b| {
+        let cm = CoreMark {
+            iterations: 4,
+            ..CoreMark::table2()
+        };
+        b.iter(|| black_box(cm.run(&mut NullExec)))
+    });
+
+    g.bench_function("stockfish_depth3", |b| {
+        b.iter(|| black_box(chess::bench(3, &mut NullExec)))
+    });
+
+    g.bench_function("specfem_64elem_50steps", |b| {
+        b.iter(|| {
+            let mut s = Specfem::new(SpecfemConfig::table2());
+            s.run(50, &mut NullExec);
+            black_box(s.total_energy())
+        })
+    });
+
+    g.bench_function("magicfilter_16cubed", |b| {
+        let grid = Grid3::random(16, 16, 16, 7);
+        b.iter(|| black_box(magicfilter_3d(&grid, 4, &mut NullExec)))
+    });
+
+    g.finish();
+}
+
+/// Figure 6/5 microbenchmark: native sweep vs fully modelled sweep.
+fn bench_membench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6/membench");
+    let data = make_buffer(50 * 1024, 1);
+    for elem in [4usize, 8, 16] {
+        g.bench_with_input(
+            BenchmarkId::new("native", format!("{}b", elem * 8)),
+            &elem,
+            |b, &elem| {
+                let cfg = MembenchConfig::figure6(elem, true);
+                b.iter(|| black_box(membench_run(&cfg, &data, &mut NullExec)))
+            },
+        );
+    }
+    g.bench_function("modelled_snowball_64b", |b| {
+        let cfg = MembenchConfig::figure6(8, true);
+        let mut exec = ModelExec::snowball();
+        b.iter(|| black_box(run_model(&cfg, &data, &mut exec)))
+    });
+    g.finish();
+}
+
+/// Figure 7: one magicfilter variant costed end-to-end on each machine
+/// model (measures the simulator's own speed).
+fn bench_fig7_modelling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7/model_cost");
+    let grid = Grid3::random(12, 12, 12, 3);
+    g.bench_function("nehalem_unroll8", |b| {
+        let mut exec = ModelExec::nehalem();
+        b.iter(|| black_box(montblanc::fig7::measure_variant(&grid, 8, &mut exec)))
+    });
+    g.bench_function("tegra2_unroll8", |b| {
+        let mut exec = ModelExec::tegra2();
+        b.iter(|| black_box(montblanc::fig7::measure_variant(&grid, 8, &mut exec)))
+    });
+    g.finish();
+}
+
+/// Figure 3/4 cluster simulation speed.
+fn bench_cluster_sim(c: &mut Criterion) {
+    use mb_cluster::scaling::{FabricKind, ScalingStudy};
+    use mb_cluster::workload::Workload;
+    let mut g = c.benchmark_group("fig3/cluster_sim");
+    g.sample_size(10);
+    g.bench_function("bigdft_36cores_2iters", |b| {
+        let study = ScalingStudy::new(FabricKind::Tibidabo);
+        let w = Workload::bigdft_tibidabo().with_iterations(2);
+        b.iter(|| black_box(study.execute(&w, 36, false)))
+    });
+    g.bench_function("specfem_64cores_4steps", |b| {
+        let study = ScalingStudy::new(FabricKind::Tibidabo);
+        let w = Workload::specfem_tibidabo().with_iterations(4);
+        b.iter(|| black_box(study.execute(&w, 64, false)))
+    });
+    g.finish();
+}
+
+/// Figure 5: one randomised RT-scheduling measurement.
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5/experiment");
+    g.sample_size(10);
+    g.bench_function("quick_protocol", |b| {
+        b.iter(|| black_box(montblanc::fig5::run(&montblanc::fig5::Fig5Config::quick())))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table2_kernels,
+    bench_membench,
+    bench_fig7_modelling,
+    bench_cluster_sim,
+    bench_fig5
+);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Ablation studies over the reproduction's design choices: collective
+//! algorithms, the switch upgrade, and page-allocation policies.
+
+use mb_bench::{header, quick_mode};
+use montblanc::ablation::{collective_algorithms, page_policies, switch_upgrade};
+use montblanc::report::TextTable;
+
+fn main() {
+    let quick = quick_mode();
+    header("Ablation 1: collective algorithm (binomial tree vs pipelined ring)");
+    let payloads: Vec<u64> = if quick {
+        vec![64, 64 * 1024, 4 << 20]
+    } else {
+        vec![64, 4096, 64 * 1024, 512 * 1024, 4 << 20, 16 << 20]
+    };
+    for a in collective_algorithms(16, &payloads) {
+        println!("--- {} on {} ranks ---", a.collective, a.ranks);
+        let mut t = TextTable::new(vec![
+            "payload".into(),
+            "tree".into(),
+            "ring".into(),
+            "winner".into(),
+        ]);
+        for c in &a.cells {
+            t.row(vec![
+                format!("{} B", c.bytes),
+                c.tree.to_string(),
+                c.ring.to_string(),
+                if c.ring_wins() { "ring" } else { "tree" }.to_string(),
+            ]);
+        }
+        println!("{}", t.render());
+        match a.crossover_bytes() {
+            Some(b) => println!("ring takes over at {b} B\n"),
+            None => println!("no crossover in this payload range\n"),
+        }
+    }
+
+    header("Ablation 2: switch upgrade (BigDFT makespan)");
+    let cores: &[u32] = if quick { &[16, 36] } else { &[8, 16, 24, 36] };
+    let mut t = TextTable::new(vec![
+        "cores".into(),
+        "commodity".into(),
+        "4x bonded".into(),
+        "upgraded".into(),
+        "improvement".into(),
+    ]);
+    for r in switch_upgrade(cores, if quick { 2 } else { 6 }) {
+        t.row(vec![
+            r.cores.to_string(),
+            r.commodity.to_string(),
+            r.bonded.to_string(),
+            r.upgraded.to_string(),
+            format!("{:.1}%", 100.0 * r.improvement()),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("Bonding the uplinks alone barely helps: BigDFT's pain comes from the");
+    println!("commodity switches' behaviour (buffers, hiccups), not uplink width —");
+    println!("which is why the paper proposes replacing the switches outright.\n");
+
+    header("Ablation 3: page-allocation policy (32 KB membench, Snowball)");
+    let mut t = TextTable::new(vec![
+        "policy".into(),
+        "mean GB/s".into(),
+        "across-run CV".into(),
+    ]);
+    for r in page_policies(if quick { 8 } else { 20 }) {
+        t.row(vec![
+            format!("{:?}", r.policy),
+            format!("{:.4}", r.mean_gbps),
+            format!("{:.4}", r.across_run_cv),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("Contiguous frames are fast and perfectly reproducible; random frames");
+    println!("lose bandwidth *and* reproducibility — the §V.A.1 lesson.");
+}

@@ -1,0 +1,26 @@
+//! Figure 2 — memory characteristics (hwloc topologies) of the two
+//! experimental platforms.
+
+use mb_bench::header;
+use montblanc::platform::Platform;
+
+fn main() {
+    header("Figure 2: platform topologies (lstopo-style)");
+    for platform in [
+        Platform::xeon_x5550(),
+        Platform::snowball(),
+        Platform::tegra2_node(),
+    ] {
+        let topo = platform.topology().expect("depicted platform");
+        println!("--- {} ---", platform.name);
+        println!("{}", topo.render());
+        println!(
+            "cores: {}   peak DP: {:.2} GFLOPS   peak SP: {:.2} GFLOPS   power: {}",
+            platform.cores,
+            platform.peak_gflops_f64(),
+            platform.peak_gflops_f32(),
+            platform.power.nameplate(),
+        );
+        println!();
+    }
+}

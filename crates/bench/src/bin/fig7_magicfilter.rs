@@ -1,0 +1,53 @@
+//! Figure 7 — cycles and cache accesses needed to apply the magicfilter
+//! versus unroll degree, on Nehalem and Tegra2.
+
+use mb_bench::{header, quick_mode};
+use montblanc::fig7::{run, Fig7Config, Fig7Panel};
+use montblanc::report::{ascii_plot, TextTable};
+
+fn print_panel(label: &str, p: &Fig7Panel) {
+    println!("--- {label}: {} ---", p.machine);
+    let mut t = TextTable::new(vec![
+        "unroll".into(),
+        "cycles".into(),
+        "cache accesses".into(),
+    ]);
+    for pt in &p.points {
+        t.row(vec![
+            pt.unroll.to_string(),
+            pt.cycles.to_string(),
+            pt.cache_accesses.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    let pts: Vec<(f64, f64)> = p
+        .points
+        .iter()
+        .map(|pt| (pt.unroll as f64, pt.cycles as f64))
+        .collect();
+    println!("{}", ascii_plot(&pts, 48, 10, "cycles vs unroll"));
+    println!(
+        "best unroll: {}   sweet spot: [{}:{}]   cache-access steps at: {:?}\n",
+        p.sweet.best_x, p.sweet.range.0, p.sweet.range.1, p.staircases
+    );
+}
+
+fn main() {
+    let cfg = if quick_mode() {
+        Fig7Config::quick()
+    } else {
+        Fig7Config::paper()
+    };
+    header("Figure 7: magicfilter auto-tuning (PAPI-style counters)");
+    let r = run(&cfg);
+    if let Some(path) = mb_bench::csv_path("fig7") {
+        if std::fs::write(&path, montblanc::csv::fig7_csv(&r)).is_ok() {
+            println!("CSV written to {}", path.display());
+        }
+    }
+    print_panel("Fig 7a", &r.nehalem);
+    print_panel("Fig 7b", &r.tegra2);
+    println!("Paper: curves roughly convex; cache accesses show a staircase (unroll 9");
+    println!("on Nehalem vs 5 on Tegra2); the beneficial sweet spot is [4:12] on");
+    println!("Nehalem but only [4:7] on Tegra2 — tuning must be automated per platform.");
+}

@@ -1,0 +1,18 @@
+//! Table I — the eleven Mont-Blanc applications.
+
+use mb_bench::header;
+use montblanc::apps::{render_table1, selected_applications};
+
+fn main() {
+    header("Table I: Mont-Blanc selected HPC applications");
+    println!("{}", render_table1());
+    let reproduced: Vec<&str> = selected_applications()
+        .into_iter()
+        .filter(|a| a.reproduced)
+        .map(|a| a.code)
+        .collect();
+    println!(
+        "Reproduced in this workspace (the paper's two focus codes): {}",
+        reproduced.join(", ")
+    );
+}

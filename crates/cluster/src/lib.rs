@@ -1,0 +1,37 @@
+//! # mb-cluster — cluster composition and strong-scaling studies
+//!
+//! Section IV runs strong-scaling experiments on Tibidabo. This crate
+//! provides the pieces those experiments need on top of the fabric
+//! (`mb-net`) and the message-passing runtime (`mb-mpi`):
+//!
+//! * [`workload`] — communication/computation skeletons of the three
+//!   applications, with per-iteration phases derived from the real
+//!   kernels' operation counts: HPL/LINPACK (panel broadcast + trailing
+//!   update), SPECFEM (halo exchange + element kernel), BigDFT
+//!   (`all_to_all_v` transposition + convolution);
+//! * [`scaling`] — the strong-scaling runner: executes a workload
+//!   skeleton at each core count on a chosen fabric and reports time,
+//!   speedup and parallel efficiency (Figure 3), optionally tracing for
+//!   the Figure 4 analysis.
+//!
+//! # Examples
+//!
+//! ```
+//! use mb_cluster::scaling::{ScalingStudy, FabricKind};
+//! use mb_cluster::workload::Workload;
+//!
+//! let study = ScalingStudy::new(FabricKind::Tibidabo);
+//! let series = study.run(&Workload::specfem_tibidabo(), &[4, 8, 16]);
+//! assert_eq!(series.points.len(), 3);
+//! // Speedup grows with cores.
+//! assert!(series.points[2].speedup > series.points[0].speedup);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod scaling;
+pub mod workload;
+
+pub use scaling::{FabricKind, ScalingPoint, ScalingSeries, ScalingStudy};
+pub use workload::{CommPattern, Phase, Workload};

@@ -1,0 +1,161 @@
+//! Figure 3 — strong scaling of LINPACK, SPECFEM3D and BigDFT on
+//! Tibidabo.
+//!
+//! Wraps `mb-cluster`'s [`ScalingStudy`] with the paper's core-count
+//! grids and speedup normalisations: LINPACK up to ~104 cores (Fig 3a),
+//! SPECFEM3D up to 192 cores normalised "versus a 4 core run" (Fig 3b),
+//! BigDFT up to 36 cores (Fig 3c). The effective per-core rate fed to
+//! the skeletons is *measured* on the Tegra2 machine model by costing
+//! the real SPECFEM kernel, not assumed.
+
+use crate::platform::Platform;
+use mb_cluster::scaling::{FabricKind, ScalingSeries, ScalingStudy};
+use mb_cluster::workload::Workload;
+use mb_kernels::specfem::{Specfem, SpecfemConfig};
+use serde::{Deserialize, Serialize};
+
+/// Which Figure 3 panel to reproduce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Panel {
+    /// Figure 3a: LINPACK.
+    Linpack,
+    /// Figure 3b: SPECFEM3D.
+    Specfem,
+    /// Figure 3c: BigDFT.
+    BigDft,
+}
+
+/// Configuration of the Figure 3 experiment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fig3Config {
+    /// Core counts for the LINPACK panel.
+    pub linpack_cores: Vec<u32>,
+    /// Core counts for the SPECFEM panel (baseline 4, per the paper).
+    pub specfem_cores: Vec<u32>,
+    /// Core counts for the BigDFT panel.
+    pub bigdft_cores: Vec<u32>,
+    /// Iteration counts (scaled down for quick runs).
+    pub iterations: u32,
+}
+
+impl Fig3Config {
+    /// Fast test configuration.
+    pub fn quick() -> Self {
+        Fig3Config {
+            linpack_cores: vec![8, 32, 104],
+            specfem_cores: vec![4, 48, 192],
+            bigdft_cores: vec![4, 16, 36],
+            iterations: 4,
+        }
+    }
+
+    /// The full grids of the paper's plots.
+    pub fn paper() -> Self {
+        Fig3Config {
+            linpack_cores: vec![2, 4, 8, 16, 32, 64, 104],
+            specfem_cores: vec![4, 8, 16, 32, 64, 96, 128, 192],
+            bigdft_cores: vec![2, 4, 8, 12, 16, 24, 32, 36],
+            iterations: 6,
+        }
+    }
+}
+
+/// Measures the effective per-core double-precision rate of the Tegra2
+/// model by costing the real SPECFEM element kernel, in GFLOPS.
+pub fn tegra2_effective_gflops() -> f64 {
+    let platform = Platform::tegra2_node();
+    let mut exec = platform.exec(1);
+    let mut sim = Specfem::new(SpecfemConfig::table2());
+    sim.run(40, &mut exec);
+    let r = exec.finish();
+    r.gflops()
+}
+
+/// The workload for one panel, with the measured core rate injected.
+pub fn workload(panel: Panel, iterations: u32) -> Workload {
+    let rate = tegra2_effective_gflops();
+    let w = match panel {
+        Panel::Linpack => Workload::linpack_tibidabo(),
+        Panel::Specfem => Workload::specfem_tibidabo(),
+        Panel::BigDft => Workload::bigdft_tibidabo(),
+    };
+    w.with_core_gflops(rate).with_iterations(iterations)
+}
+
+/// The three panels of Figure 3.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig3Report {
+    /// Fig 3a.
+    pub linpack: ScalingSeries,
+    /// Fig 3b.
+    pub specfem: ScalingSeries,
+    /// Fig 3c.
+    pub bigdft: ScalingSeries,
+    /// The measured Tegra2 per-core rate used (GFLOPS).
+    pub core_gflops: f64,
+}
+
+/// Runs the whole Figure 3 experiment on the commodity Tibidabo fabric.
+pub fn run(cfg: &Fig3Config) -> Fig3Report {
+    run_on(cfg, FabricKind::Tibidabo)
+}
+
+/// Runs Figure 3 on a chosen fabric (the upgraded variant is the §IV
+/// ablation).
+pub fn run_on(cfg: &Fig3Config, fabric: FabricKind) -> Fig3Report {
+    let study = ScalingStudy::new(fabric);
+    let core_gflops = tegra2_effective_gflops();
+    let make = |panel: Panel| {
+        
+        match panel {
+            Panel::Linpack => Workload::linpack_tibidabo(),
+            Panel::Specfem => Workload::specfem_tibidabo(),
+            Panel::BigDft => Workload::bigdft_tibidabo(),
+        }
+        .with_core_gflops(core_gflops)
+        .with_iterations(cfg.iterations)
+    };
+    Fig3Report {
+        linpack: study.run(&make(Panel::Linpack), &cfg.linpack_cores),
+        specfem: study.run(&make(Panel::Specfem), &cfg.specfem_cores),
+        bigdft: study.run(&make(Panel::BigDft), &cfg.bigdft_cores),
+        core_gflops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tegra2_rate_is_plausible() {
+        let g = tegra2_effective_gflops();
+        // The Tegra2's VFP peaks at 1 GFLOPS/core; real codes achieve a
+        // fraction of that.
+        assert!((0.05..0.9).contains(&g), "effective rate {g} GFLOPS");
+    }
+
+    #[test]
+    fn figure3_shapes() {
+        let r = run(&Fig3Config::quick());
+        // Fig 3a: LINPACK acceptable at ~104 cores.
+        let lp = r.linpack.at(104).expect("ran").efficiency;
+        assert!((0.55..0.97).contains(&lp), "LINPACK eff {lp}");
+        // Fig 3b: SPECFEM excellent at 192 (vs 4-core base).
+        let sf = r.specfem.at(192).expect("ran").efficiency;
+        assert!(sf > 0.8, "SPECFEM eff {sf}");
+        assert_eq!(r.specfem.baseline_cores, 4);
+        // Fig 3c: BigDFT collapses by 36.
+        let bd = r.bigdft.at(36).expect("ran").efficiency;
+        assert!(bd < 0.6, "BigDFT eff {bd}");
+        // Ordering: SPECFEM scales best, BigDFT worst.
+        assert!(sf > lp && lp > bd);
+    }
+
+    #[test]
+    fn workload_carries_measured_rate() {
+        let w = workload(Panel::BigDft, 2);
+        assert!((w.core_gflops - tegra2_effective_gflops()).abs() < 1e-12);
+        assert_eq!(w.iterations, 2);
+    }
+}

@@ -1,0 +1,168 @@
+//! Small text-rendering helpers shared by the experiment reports and the
+//! `mb-bench` binaries.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-width text table builder.
+///
+/// # Examples
+///
+/// ```
+/// use montblanc::report::TextTable;
+///
+/// let mut t = TextTable::new(vec!["cores".into(), "speedup".into()]);
+/// t.row(vec!["4".into(), "4.0".into()]);
+/// t.row(vec!["16".into(), "15.1".into()]);
+/// let text = t.render();
+/// assert!(text.contains("cores"));
+/// assert!(text.lines().count() == 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `header` is empty.
+    pub fn new(header: Vec<String>) -> Self {
+        assert!(!header.is_empty(), "table needs at least one column");
+        TextTable {
+            header,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with per-column width fitting; first column
+    /// left-justified, the rest right-justified.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i == 0 {
+                    line.push_str(&format!("{:<width$}", c, width = widths[0]));
+                } else {
+                    line.push_str(&format!("  {:>width$}", c, width = widths[i]));
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders an ASCII scatter/line plot of `(x, y)` points — the bench
+/// binaries use it for the speedup and bandwidth figures.
+///
+/// # Panics
+///
+/// Panics if `points` is empty or `width`/`height` is zero.
+pub fn ascii_plot(points: &[(f64, f64)], width: usize, height: usize, label: &str) -> String {
+    assert!(!points.is_empty(), "nothing to plot");
+    assert!(width > 0 && height > 0, "plot must have positive size");
+    let xmax = points.iter().map(|p| p.0).fold(f64::MIN, f64::max);
+    let xmin = points.iter().map(|p| p.0).fold(f64::MAX, f64::min);
+    let ymax = points.iter().map(|p| p.1).fold(f64::MIN, f64::max);
+    let ymin = points.iter().map(|p| p.1).fold(f64::MAX, f64::min).min(0.0);
+    let xspan = (xmax - xmin).max(f64::EPSILON);
+    let yspan = (ymax - ymin).max(f64::EPSILON);
+    let mut grid = vec![vec![' '; width]; height];
+    for &(x, y) in points {
+        let col = (((x - xmin) / xspan) * (width - 1) as f64).round() as usize;
+        let row = (((y - ymin) / yspan) * (height - 1) as f64).round() as usize;
+        grid[height - 1 - row][col] = '*';
+    }
+    let mut out = format!("{label}  (y: {ymin:.1}..{ymax:.1}, x: {xmin:.1}..{xmax:.1})\n");
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rendering_aligns() {
+        let mut t = TextTable::new(vec!["name".into(), "value".into()]);
+        t.row(vec!["short".into(), "1".into()]);
+        t.row(vec!["a-much-longer-name".into(), "123456".into()]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines equally wide (trailing spaces aside).
+        assert!(lines[1].starts_with('-'));
+        assert!(text.contains("a-much-longer-name"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn mismatched_row_panics() {
+        let mut t = TextTable::new(vec!["a".into(), "b".into()]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn plot_contains_points() {
+        let pts: Vec<(f64, f64)> = (0..=10).map(|i| (i as f64, i as f64)).collect();
+        let p = ascii_plot(&pts, 40, 10, "ideal");
+        assert!(p.starts_with("ideal"));
+        assert!(p.contains('*'));
+        assert_eq!(p.lines().count(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to plot")]
+    fn empty_plot_panics() {
+        let _ = ascii_plot(&[], 10, 10, "x");
+    }
+}

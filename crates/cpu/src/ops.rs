@@ -1,0 +1,374 @@
+//! The architecture-neutral operation vocabulary and the `Exec` sink.
+//!
+//! Kernels in `mb-kernels` are ordinary Rust functions generic over an
+//! [`Exec`] parameter. They compute their real numerical result *and*
+//! report every abstract operation to the sink. The sink decides what the
+//! report costs:
+//!
+//! * [`NullExec`] — nothing (native-speed runs, used by Criterion);
+//! * [`CountingExec`] — tallies [`OpCounts`] (workload characterisation);
+//! * [`crate::exec_model::ModelExec`] — charges cycles on a machine model.
+
+use serde::{Deserialize, Serialize};
+
+/// Floating-point operation kinds, costed separately because their
+/// throughputs differ by an order of magnitude on both target cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlopKind {
+    /// Addition or subtraction.
+    Add,
+    /// Multiplication.
+    Mul,
+    /// Fused (or chained) multiply-add — counts as **two** flops, per
+    /// LINPACK convention.
+    Fma,
+    /// Division.
+    Div,
+    /// Square root.
+    Sqrt,
+    /// Comparison / min / max / abs.
+    Cmp,
+}
+
+impl FlopKind {
+    /// How many flops this operation contributes to FLOPS accounting
+    /// (per lane).
+    pub fn flops(self) -> u64 {
+        match self {
+            FlopKind::Fma => 2,
+            _ => 1,
+        }
+    }
+}
+
+/// Floating-point precision. The distinction drives the paper's key
+/// asymmetry: the Cortex-A9's NEON unit is **single precision only**
+/// (Section II.B), so double-precision work cannot be vectorised on ARM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Precision {
+    /// 32-bit IEEE-754.
+    F32,
+    /// 64-bit IEEE-754.
+    F64,
+}
+
+impl Precision {
+    /// Element width in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            Precision::F32 => 4,
+            Precision::F64 => 8,
+        }
+    }
+}
+
+/// The sink kernels report their operations to.
+///
+/// `lanes` on [`Exec::flop`] expresses *intended* SIMD width: a kernel
+/// that processes 4 elements per iteration reports `lanes = 4` once
+/// rather than 4 scalar flops. Whether the hardware can actually execute
+/// them in parallel is the model's decision, not the kernel's.
+pub trait Exec {
+    /// Reports `lanes` parallel floating-point operations of `kind`.
+    fn flop(&mut self, kind: FlopKind, prec: Precision, lanes: u32);
+
+    /// Reports `n` simple integer/logic operations.
+    fn int_ops(&mut self, n: u64);
+
+    /// Reports a load of `bytes` at (virtual) address `addr`.
+    fn load(&mut self, addr: u64, bytes: u32);
+
+    /// Reports a store of `bytes` at (virtual) address `addr`.
+    fn store(&mut self, addr: u64, bytes: u32);
+
+    /// Reports a conditional branch; `predictable` distinguishes
+    /// loop-style branches from data-dependent ones.
+    fn branch(&mut self, predictable: bool);
+}
+
+/// A sink that ignores everything — kernels run at native speed.
+///
+/// # Examples
+///
+/// ```
+/// use mb_cpu::ops::{Exec, FlopKind, NullExec, Precision};
+/// let mut e = NullExec;
+/// e.flop(FlopKind::Add, Precision::F64, 4);
+/// e.int_ops(10);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullExec;
+
+impl Exec for NullExec {
+    #[inline(always)]
+    fn flop(&mut self, _kind: FlopKind, _prec: Precision, _lanes: u32) {}
+    #[inline(always)]
+    fn int_ops(&mut self, _n: u64) {}
+    #[inline(always)]
+    fn load(&mut self, _addr: u64, _bytes: u32) {}
+    #[inline(always)]
+    fn store(&mut self, _addr: u64, _bytes: u32) {}
+    #[inline(always)]
+    fn branch(&mut self, _predictable: bool) {}
+}
+
+/// Aggregated operation counts — a workload characterisation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpCounts {
+    /// Scalar-equivalent flops (lanes × per-op flops), double precision.
+    pub flops_f64: u64,
+    /// Scalar-equivalent flops, single precision.
+    pub flops_f32: u64,
+    /// Flop *instructions* (one per `flop` call), i.e. not lane-scaled.
+    pub flop_instructions: u64,
+    /// Division + square-root flops (long-latency subset, lane-scaled).
+    pub long_latency_flops: u64,
+    /// Integer/logic operations.
+    pub int_ops: u64,
+    /// Loads.
+    pub loads: u64,
+    /// Stores.
+    pub stores: u64,
+    /// Bytes loaded.
+    pub load_bytes: u64,
+    /// Bytes stored.
+    pub store_bytes: u64,
+    /// Branches.
+    pub branches: u64,
+    /// Branches flagged unpredictable.
+    pub unpredictable_branches: u64,
+}
+
+impl OpCounts {
+    /// Total scalar-equivalent flops, both precisions.
+    pub fn total_flops(&self) -> u64 {
+        self.flops_f64 + self.flops_f32
+    }
+
+    /// Total memory accesses.
+    pub fn memory_accesses(&self) -> u64 {
+        self.loads + self.stores
+    }
+
+    /// Total bytes moved.
+    pub fn total_bytes(&self) -> u64 {
+        self.load_bytes + self.store_bytes
+    }
+
+    /// Arithmetic intensity: flops per byte moved (0 when no bytes).
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let b = self.total_bytes();
+        if b == 0 {
+            0.0
+        } else {
+            self.total_flops() as f64 / b as f64
+        }
+    }
+
+    /// Adds another tally into this one.
+    pub fn merge(&mut self, other: &OpCounts) {
+        self.flops_f64 += other.flops_f64;
+        self.flops_f32 += other.flops_f32;
+        self.flop_instructions += other.flop_instructions;
+        self.long_latency_flops += other.long_latency_flops;
+        self.int_ops += other.int_ops;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.load_bytes += other.load_bytes;
+        self.store_bytes += other.store_bytes;
+        self.branches += other.branches;
+        self.unpredictable_branches += other.unpredictable_branches;
+    }
+}
+
+/// A sink that tallies [`OpCounts`] without costing anything.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountingExec {
+    counts: OpCounts,
+}
+
+impl CountingExec {
+    /// Creates a zeroed counter sink.
+    pub fn new() -> Self {
+        CountingExec::default()
+    }
+
+    /// The tallied counts.
+    pub fn counts(&self) -> &OpCounts {
+        &self.counts
+    }
+
+    /// Consumes the sink, returning the counts.
+    pub fn into_counts(self) -> OpCounts {
+        self.counts
+    }
+}
+
+impl Exec for CountingExec {
+    fn flop(&mut self, kind: FlopKind, prec: Precision, lanes: u32) {
+        let f = kind.flops() * lanes as u64;
+        match prec {
+            Precision::F64 => self.counts.flops_f64 += f,
+            Precision::F32 => self.counts.flops_f32 += f,
+        }
+        self.counts.flop_instructions += 1;
+        if matches!(kind, FlopKind::Div | FlopKind::Sqrt) {
+            self.counts.long_latency_flops += lanes as u64;
+        }
+    }
+
+    fn int_ops(&mut self, n: u64) {
+        self.counts.int_ops += n;
+    }
+
+    fn load(&mut self, _addr: u64, bytes: u32) {
+        self.counts.loads += 1;
+        self.counts.load_bytes += bytes as u64;
+    }
+
+    fn store(&mut self, _addr: u64, bytes: u32) {
+        self.counts.stores += 1;
+        self.counts.store_bytes += bytes as u64;
+    }
+
+    fn branch(&mut self, predictable: bool) {
+        self.counts.branches += 1;
+        if !predictable {
+            self.counts.unpredictable_branches += 1;
+        }
+    }
+}
+
+/// Forwards every report to two sinks — e.g. counting *and* modelling in
+/// one pass.
+#[derive(Debug)]
+pub struct TeeExec<'a, A, B> {
+    /// First sink.
+    pub a: &'a mut A,
+    /// Second sink.
+    pub b: &'a mut B,
+}
+
+impl<'a, A: Exec, B: Exec> TeeExec<'a, A, B> {
+    /// Creates a tee over two sinks.
+    pub fn new(a: &'a mut A, b: &'a mut B) -> Self {
+        TeeExec { a, b }
+    }
+}
+
+impl<A: Exec, B: Exec> Exec for TeeExec<'_, A, B> {
+    fn flop(&mut self, kind: FlopKind, prec: Precision, lanes: u32) {
+        self.a.flop(kind, prec, lanes);
+        self.b.flop(kind, prec, lanes);
+    }
+    fn int_ops(&mut self, n: u64) {
+        self.a.int_ops(n);
+        self.b.int_ops(n);
+    }
+    fn load(&mut self, addr: u64, bytes: u32) {
+        self.a.load(addr, bytes);
+        self.b.load(addr, bytes);
+    }
+    fn store(&mut self, addr: u64, bytes: u32) {
+        self.a.store(addr, bytes);
+        self.b.store(addr, bytes);
+    }
+    fn branch(&mut self, predictable: bool) {
+        self.a.branch(predictable);
+        self.b.branch(predictable);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flop_kind_flop_counts() {
+        assert_eq!(FlopKind::Add.flops(), 1);
+        assert_eq!(FlopKind::Fma.flops(), 2);
+        assert_eq!(FlopKind::Div.flops(), 1);
+    }
+
+    #[test]
+    fn precision_bytes() {
+        assert_eq!(Precision::F32.bytes(), 4);
+        assert_eq!(Precision::F64.bytes(), 8);
+    }
+
+    #[test]
+    fn counting_exec_tallies() {
+        let mut e = CountingExec::new();
+        e.flop(FlopKind::Fma, Precision::F64, 2); // 4 f64 flops
+        e.flop(FlopKind::Add, Precision::F32, 4); // 4 f32 flops
+        e.flop(FlopKind::Div, Precision::F64, 1); // long latency
+        e.int_ops(7);
+        e.load(0x100, 8);
+        e.load(0x108, 8);
+        e.store(0x200, 4);
+        e.branch(true);
+        e.branch(false);
+        let c = e.counts();
+        assert_eq!(c.flops_f64, 5);
+        assert_eq!(c.flops_f32, 4);
+        assert_eq!(c.total_flops(), 9);
+        assert_eq!(c.flop_instructions, 3);
+        assert_eq!(c.long_latency_flops, 1);
+        assert_eq!(c.int_ops, 7);
+        assert_eq!(c.loads, 2);
+        assert_eq!(c.stores, 1);
+        assert_eq!(c.load_bytes, 16);
+        assert_eq!(c.store_bytes, 4);
+        assert_eq!(c.memory_accesses(), 3);
+        assert_eq!(c.total_bytes(), 20);
+        assert_eq!(c.branches, 2);
+        assert_eq!(c.unpredictable_branches, 1);
+    }
+
+    #[test]
+    fn arithmetic_intensity() {
+        let mut e = CountingExec::new();
+        e.flop(FlopKind::Add, Precision::F64, 1);
+        e.load(0, 8);
+        assert!((e.counts().arithmetic_intensity() - 0.125).abs() < 1e-12);
+        let empty = OpCounts::default();
+        assert_eq!(empty.arithmetic_intensity(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = CountingExec::new();
+        a.flop(FlopKind::Add, Precision::F64, 1);
+        a.load(0, 8);
+        let mut b = CountingExec::new();
+        b.flop(FlopKind::Mul, Precision::F64, 1);
+        b.store(0, 8);
+        let mut total = *a.counts();
+        total.merge(b.counts());
+        assert_eq!(total.total_flops(), 2);
+        assert_eq!(total.loads, 1);
+        assert_eq!(total.stores, 1);
+    }
+
+    #[test]
+    fn tee_feeds_both() {
+        let mut a = CountingExec::new();
+        let mut b = CountingExec::new();
+        {
+            let mut tee = TeeExec::new(&mut a, &mut b);
+            tee.flop(FlopKind::Add, Precision::F64, 1);
+            tee.branch(true);
+        }
+        assert_eq!(a.counts().flops_f64, 1);
+        assert_eq!(b.counts().flops_f64, 1);
+        assert_eq!(a.counts().branches, 1);
+    }
+
+    #[test]
+    fn null_exec_is_inert() {
+        let mut e = NullExec;
+        e.flop(FlopKind::Sqrt, Precision::F32, 16);
+        e.load(0, 4);
+        // Nothing to assert beyond "it compiles and runs".
+    }
+}

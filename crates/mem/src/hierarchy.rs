@@ -1,0 +1,337 @@
+//! Multi-level cache hierarchies with per-level latencies.
+//!
+//! A [`Hierarchy`] stacks [`Cache`] levels (L1 closest to the core) over a
+//! DRAM latency. Each access probes levels in order, charges the latency
+//! of the level that hits (or memory), and installs the line in every
+//! level it traversed (inclusive hierarchy, like both the Nehalem and the
+//! Cortex-A9 systems of the paper).
+//!
+//! Preset constructors describe the paper's three machines from their
+//! public specifications (Figure 2 geometry):
+//!
+//! * [`HierarchyConfig::xeon_x5550`] — 32 KB L1 / 256 KB L2 / 8 MB shared L3;
+//! * [`HierarchyConfig::snowball_a9500`] — 32 KB L1 / 512 KB shared L2;
+//! * [`HierarchyConfig::tegra2`] — 32 KB L1 / 1 MB shared L2.
+
+use crate::cache::{Cache, CacheConfig, CacheStats, Replacement};
+use serde::{Deserialize, Serialize};
+
+/// One level of the hierarchy: geometry plus hit latency in cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LevelConfig {
+    /// Cache geometry and replacement policy.
+    pub cache: CacheConfig,
+    /// Latency in core cycles charged when this level hits.
+    pub hit_latency: u64,
+    /// Sustained fill bandwidth from this level towards the core, in
+    /// bytes per core cycle. Bounds streaming throughput: every line
+    /// fetched from this level occupies `line_bytes / fill` cycles of
+    /// transfer bandwidth that no amount of latency hiding removes.
+    pub fill_bytes_per_cycle: f64,
+}
+
+/// Configuration of a whole hierarchy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HierarchyConfig {
+    /// Levels ordered L1 → last-level cache.
+    pub levels: Vec<LevelConfig>,
+    /// Latency in core cycles charged on a full miss to DRAM.
+    pub memory_latency: u64,
+    /// Sustained DRAM fill bandwidth in bytes per core cycle.
+    pub memory_fill_bytes_per_cycle: f64,
+}
+
+impl HierarchyConfig {
+    /// Intel Xeon X5550 (Nehalem): 32 KB 8-way L1d, 256 KB 8-way L2,
+    /// 8 MB 16-way shared L3, 64-byte lines. Latencies ≈ 4/10/38 cycles,
+    /// DRAM ≈ 180 cycles at 2.66 GHz (~68 ns).
+    pub fn xeon_x5550() -> Self {
+        HierarchyConfig {
+            levels: vec![
+                LevelConfig {
+                    cache: CacheConfig::new(32 * 1024, 64, 8, Replacement::Lru),
+                    hit_latency: 4,
+                    fill_bytes_per_cycle: 32.0,
+                },
+                LevelConfig {
+                    cache: CacheConfig::new(256 * 1024, 64, 8, Replacement::Lru),
+                    hit_latency: 10,
+                    fill_bytes_per_cycle: 16.0,
+                },
+                LevelConfig {
+                    cache: CacheConfig::new(8 * 1024 * 1024, 64, 16, Replacement::Lru),
+                    hit_latency: 38,
+                    fill_bytes_per_cycle: 8.0,
+                },
+            ],
+            memory_latency: 180,
+            memory_fill_bytes_per_cycle: 4.0,
+        }
+    }
+
+    /// ST-Ericsson A9500 (Snowball): dual Cortex-A9, 32 KB 4-way L1d with
+    /// 32-byte lines, 512 KB 8-way shared L2. Latencies ≈ 4/25 cycles,
+    /// LP-DDR2 ≈ 160 cycles at 1 GHz.
+    pub fn snowball_a9500() -> Self {
+        HierarchyConfig {
+            levels: vec![
+                LevelConfig {
+                    cache: CacheConfig::new(32 * 1024, 32, 4, Replacement::Lru),
+                    hit_latency: 4,
+                    fill_bytes_per_cycle: 8.0,
+                },
+                LevelConfig {
+                    cache: CacheConfig::new(512 * 1024, 32, 8, Replacement::Lru),
+                    hit_latency: 25,
+                    // PL310 L2: 64-bit port at core clock.
+                    fill_bytes_per_cycle: 8.0,
+                },
+            ],
+            memory_latency: 160,
+            // LP-DDR2-800 dual die: ~2 GB/s sustained at 1 GHz.
+            memory_fill_bytes_per_cycle: 2.0,
+        }
+    }
+
+    /// NVIDIA Tegra2 (Tibidabo node): dual Cortex-A9, 32 KB 4-way L1d,
+    /// 1 MB shared L2.
+    pub fn tegra2() -> Self {
+        HierarchyConfig {
+            levels: vec![
+                LevelConfig {
+                    cache: CacheConfig::new(32 * 1024, 32, 4, Replacement::Lru),
+                    hit_latency: 4,
+                    fill_bytes_per_cycle: 8.0,
+                },
+                LevelConfig {
+                    cache: CacheConfig::new(1024 * 1024, 32, 8, Replacement::Lru),
+                    hit_latency: 26,
+                    fill_bytes_per_cycle: 8.0,
+                },
+            ],
+            memory_latency: 170,
+            memory_fill_bytes_per_cycle: 2.0,
+        }
+    }
+
+    /// Line size of the innermost (L1) level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has no levels.
+    pub fn l1_line_bytes(&self) -> usize {
+        self.levels.first().expect("hierarchy has levels").cache.line_bytes
+    }
+}
+
+/// Where an access was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HitLevel {
+    /// Satisfied by cache level `0` (L1), `1` (L2), …
+    Cache(usize),
+    /// Went all the way to DRAM.
+    Memory,
+}
+
+/// A simulated multi-level cache hierarchy.
+///
+/// # Examples
+///
+/// ```
+/// use mb_mem::hierarchy::{Hierarchy, HierarchyConfig, HitLevel};
+///
+/// let mut h = Hierarchy::new(HierarchyConfig::snowball_a9500());
+/// let (lvl, cycles) = h.access(0x4000);
+/// assert_eq!(lvl, HitLevel::Memory);          // cold miss
+/// let (lvl, cycles2) = h.access(0x4000);
+/// assert_eq!(lvl, HitLevel::Cache(0));        // now in L1
+/// assert!(cycles2 < cycles);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    levels: Vec<(Cache, u64)>,
+    memory_latency: u64,
+    memory_accesses: u64,
+    total_cycles: u64,
+    accesses: u64,
+}
+
+impl Hierarchy {
+    /// Builds an empty hierarchy from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has no levels.
+    pub fn new(cfg: HierarchyConfig) -> Self {
+        assert!(!cfg.levels.is_empty(), "hierarchy needs at least one level");
+        Hierarchy {
+            levels: cfg
+                .levels
+                .iter()
+                .map(|l| (Cache::new(l.cache), l.hit_latency))
+                .collect(),
+            memory_latency: cfg.memory_latency,
+            memory_accesses: 0,
+            total_cycles: 0,
+            accesses: 0,
+        }
+    }
+
+    /// Accesses a (physical) byte address. Returns the satisfying level
+    /// and the latency charged in cycles.
+    pub fn access(&mut self, addr: u64) -> (HitLevel, u64) {
+        self.accesses += 1;
+        let mut missed = Vec::new();
+        for (i, (cache, latency)) in self.levels.iter_mut().enumerate() {
+            if cache.access(addr).is_hit() {
+                // Install in the levels that missed above this one.
+                // (Already done: their `access` call installed the line.)
+                let _ = &missed;
+                self.total_cycles += *latency;
+                return (HitLevel::Cache(i), *latency);
+            }
+            missed.push(i);
+        }
+        self.memory_accesses += 1;
+        self.total_cycles += self.memory_latency;
+        (HitLevel::Memory, self.memory_latency)
+    }
+
+    /// Statistics of cache level `i` (0 = L1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn level_stats(&self, i: usize) -> &CacheStats {
+        self.levels[i].0.stats()
+    }
+
+    /// Number of cache levels.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Accesses that reached DRAM.
+    pub fn memory_accesses(&self) -> u64 {
+        self.memory_accesses
+    }
+
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Sum of charged latencies in cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.total_cycles
+    }
+
+    /// Average latency per access in cycles (0 when idle).
+    pub fn avg_latency(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.total_cycles as f64 / self.accesses as f64
+        }
+    }
+
+    /// Clears contents and counters.
+    pub fn reset(&mut self) {
+        for (cache, _) in &mut self.levels {
+            cache.reset();
+        }
+        self.memory_accesses = 0;
+        self.total_cycles = 0;
+        self.accesses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_expected_geometry() {
+        let xeon = HierarchyConfig::xeon_x5550();
+        assert_eq!(xeon.levels.len(), 3);
+        assert_eq!(xeon.levels[2].cache.size_bytes, 8 * 1024 * 1024);
+        let snow = HierarchyConfig::snowball_a9500();
+        assert_eq!(snow.levels.len(), 2);
+        assert_eq!(snow.levels[0].cache.size_bytes, 32 * 1024);
+        assert_eq!(snow.l1_line_bytes(), 32);
+        assert_eq!(xeon.l1_line_bytes(), 64);
+    }
+
+    #[test]
+    fn miss_fills_all_levels() {
+        let mut h = Hierarchy::new(HierarchyConfig::xeon_x5550());
+        let (lvl, lat) = h.access(0x1234);
+        assert_eq!(lvl, HitLevel::Memory);
+        assert_eq!(lat, 180);
+        let (lvl, lat) = h.access(0x1234);
+        assert_eq!(lvl, HitLevel::Cache(0));
+        assert_eq!(lat, 4);
+        assert_eq!(h.memory_accesses(), 1);
+    }
+
+    #[test]
+    fn l2_hit_after_l1_eviction() {
+        // Sweep > L1 but < L2 on the Snowball, then revisit: L2 hits.
+        let mut h = Hierarchy::new(HierarchyConfig::snowball_a9500());
+        for addr in (0..128 * 1024u64).step_by(32) {
+            h.access(addr);
+        }
+        // Address 0 was evicted from the 32 KB L1 but lives in the 512 KB L2.
+        let (lvl, lat) = h.access(0);
+        assert_eq!(lvl, HitLevel::Cache(1));
+        assert_eq!(lat, 25);
+    }
+
+    #[test]
+    fn small_working_set_stays_in_l1() {
+        let mut h = Hierarchy::new(HierarchyConfig::snowball_a9500());
+        // 16 KB working set, two sweeps.
+        for _ in 0..2 {
+            for addr in (0..16 * 1024u64).step_by(32) {
+                h.access(addr);
+            }
+        }
+        // Second sweep: all L1 hits → L1 hit count = 512 lines.
+        assert_eq!(h.level_stats(0).hits, 512);
+        assert_eq!(h.memory_accesses(), 512); // only the cold misses
+    }
+
+    #[test]
+    fn avg_latency_reflects_locality() {
+        let mut hot = Hierarchy::new(HierarchyConfig::snowball_a9500());
+        for _ in 0..1000 {
+            hot.access(0);
+        }
+        let mut cold = Hierarchy::new(HierarchyConfig::snowball_a9500());
+        for i in 0..1000u64 {
+            cold.access(i * 4096); // new page every time
+        }
+        assert!(hot.avg_latency() < 5.0);
+        assert!(cold.avg_latency() > 100.0);
+    }
+
+    #[test]
+    fn reset_restores_cold_state() {
+        let mut h = Hierarchy::new(HierarchyConfig::tegra2());
+        h.access(0);
+        h.access(0);
+        h.reset();
+        assert_eq!(h.accesses(), 0);
+        let (lvl, _) = h.access(0);
+        assert_eq!(lvl, HitLevel::Memory);
+    }
+
+    #[test]
+    fn total_cycles_accumulate() {
+        let mut h = Hierarchy::new(HierarchyConfig::snowball_a9500());
+        h.access(0); // 160
+        h.access(0); // 4
+        assert_eq!(h.total_cycles(), 164);
+        assert!((h.avg_latency() - 82.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,731 @@
+//! The communicator: ranks, clocks, point-to-point and collectives.
+
+use mb_net::fabric::Fabric;
+use mb_net::graph::NodeId;
+use mb_simcore::time::SimTime;
+use mb_trace::record::{CollectiveKind, CommRecord, StateKind};
+use mb_trace::trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a communicator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CommConfig {
+    /// Number of ranks.
+    pub ranks: u32,
+    /// Ranks packed per host (cores per node).
+    pub ranks_per_host: u32,
+    /// Software (MPI stack + NIC driver) overhead per message at each
+    /// endpoint.
+    pub per_message_overhead: SimTime,
+    /// Effective bandwidth of intra-node (shared-memory) transfers, in
+    /// bytes per second.
+    pub intra_node_bw: f64,
+    /// Whether to record a trace.
+    pub tracing: bool,
+}
+
+impl CommConfig {
+    /// Tibidabo defaults: 2 ranks per Tegra2 node, ~25 µs per-message
+    /// software overhead (slow ARM cores running the MPI stack), ~1 GB/s
+    /// shared-memory bandwidth.
+    pub fn tibidabo(ranks: u32) -> Self {
+        CommConfig {
+            ranks,
+            ranks_per_host: 2,
+            per_message_overhead: SimTime::from_micros(25),
+            intra_node_bw: 1e9,
+            tracing: false,
+        }
+    }
+
+    /// Enables tracing, builder-style.
+    pub fn with_tracing(mut self) -> Self {
+        self.tracing = true;
+        self
+    }
+}
+
+/// A simulated communicator over a fabric.
+///
+/// Ranks have private clocks; operations advance them. The orchestration
+/// style is "program order per rank": the experiment code calls
+/// collective/point-to-point methods and the communicator resolves the
+/// timing through the fabric.
+#[derive(Debug)]
+pub struct Comm {
+    fabric: Fabric,
+    cfg: CommConfig,
+    hosts: Vec<NodeId>,
+    clock: Vec<SimTime>,
+    trace: Trace,
+    next_op: u64,
+}
+
+impl Comm {
+    /// Creates a communicator over `fabric`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fabric has too few hosts for
+    /// `ranks / ranks_per_host`, or if `ranks` or `ranks_per_host` is
+    /// zero.
+    pub fn new(fabric: Fabric, cfg: CommConfig) -> Self {
+        assert!(cfg.ranks > 0, "need at least one rank");
+        assert!(cfg.ranks_per_host > 0, "need at least one rank per host");
+        let hosts_needed = cfg.ranks.div_ceil(cfg.ranks_per_host) as usize;
+        let fabric_hosts = fabric.network().hosts().to_vec();
+        assert!(
+            fabric_hosts.len() >= hosts_needed,
+            "fabric has {} hosts, {} needed",
+            fabric_hosts.len(),
+            hosts_needed
+        );
+        let hosts = (0..cfg.ranks)
+            .map(|r| fabric_hosts[(r / cfg.ranks_per_host) as usize])
+            .collect();
+        Comm {
+            fabric,
+            cfg,
+            hosts,
+            clock: vec![SimTime::ZERO; cfg.ranks as usize],
+            trace: Trace::new(cfg.ranks),
+            next_op: 0,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> u32 {
+        self.cfg.ranks
+    }
+
+    /// The clock of one rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rank is out of range.
+    pub fn clock(&self, rank: u32) -> SimTime {
+        self.clock[rank as usize]
+    }
+
+    /// The latest rank clock — the current makespan.
+    pub fn max_clock(&self) -> SimTime {
+        self.clock.iter().copied().max().unwrap_or(SimTime::ZERO)
+    }
+
+    /// The recorded trace (empty if tracing is disabled).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Consumes the communicator, returning the trace.
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+
+    /// The underlying fabric (for congestion statistics).
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Advances one rank's clock by a computation phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rank is out of range.
+    pub fn compute(&mut self, rank: u32, duration: SimTime) {
+        let start = self.clock[rank as usize];
+        self.clock[rank as usize] += duration;
+        if self.cfg.tracing {
+            self.trace
+                .push_state(rank, start, start + duration, StateKind::Compute);
+        }
+    }
+
+    /// Advances every rank's clock by the same computation phase.
+    pub fn compute_all(&mut self, duration: SimTime) {
+        for r in 0..self.cfg.ranks {
+            self.compute(r, duration);
+        }
+    }
+
+    /// Core transfer primitive: departs at the sender's clock, arrives
+    /// per the fabric (or the intra-node copy model), both endpoints pay
+    /// the software overhead. Returns the receive-complete time. The
+    /// *sender's* clock advances past the send overhead only (eager
+    /// protocol); the receiver's clock is pushed to the arrival.
+    fn transfer(&mut self, src: u32, dst: u32, bytes: u64, coll: Option<(CollectiveKind, u64)>) {
+        let depart = self.clock[src as usize] + self.cfg.per_message_overhead;
+        let (src_host, dst_host) = (self.hosts[src as usize], self.hosts[dst as usize]);
+        let arrive = if src_host == dst_host {
+            depart + SimTime::from_secs_f64(bytes as f64 / self.cfg.intra_node_bw)
+        } else {
+            self.fabric.send(src_host, dst_host, bytes, depart)
+        };
+        let recv_done = arrive + self.cfg.per_message_overhead;
+        self.clock[src as usize] = depart;
+        self.clock[dst as usize] = self.clock[dst as usize].max(recv_done);
+        if self.cfg.tracing {
+            self.trace.push_comm(CommRecord {
+                src,
+                dst,
+                send_time: depart,
+                recv_time: recv_done,
+                bytes,
+                collective: coll,
+            });
+        }
+    }
+
+    /// Point-to-point send of `bytes` from `src` to `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rank is out of range or `src == dst`.
+    pub fn p2p(&mut self, src: u32, dst: u32, bytes: u64) {
+        assert!(src != dst, "p2p requires distinct ranks");
+        assert!(src < self.cfg.ranks && dst < self.cfg.ranks, "rank range");
+        self.transfer(src, dst, bytes, None);
+    }
+
+    /// Non-blocking exchange (`isend`/`irecv` + `waitall`): every message
+    /// departs based on its sender's clock **at entry** (multiple sends
+    /// from one rank stagger by the per-message overhead), and receivers
+    /// only advance to their latest arrival. This is how real halo
+    /// exchanges avoid the serial cascade a chain of blocking sends would
+    /// create.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rank is out of range or a message is a self-send.
+    pub fn exchange(&mut self, messages: &[(u32, u32, u64)]) {
+        self.exchange_tagged(messages, None);
+    }
+
+    fn exchange_tagged(
+        &mut self,
+        messages: &[(u32, u32, u64)],
+        coll: Option<(CollectiveKind, u64)>,
+    ) {
+        let n = self.cfg.ranks;
+        for &(src, dst, _) in messages {
+            assert!(src < n && dst < n, "rank range");
+            assert!(src != dst, "exchange messages must cross ranks");
+        }
+        let entry: Vec<SimTime> = self.clock.clone();
+        let mut sends_posted = vec![0u64; n as usize];
+        let mut recv_latest: Vec<SimTime> = entry.clone();
+        let mut send_latest: Vec<SimTime> = entry.clone();
+        for &(src, dst, bytes) in messages {
+            let depart = entry[src as usize]
+                + self.cfg.per_message_overhead * (sends_posted[src as usize] + 1);
+            sends_posted[src as usize] += 1;
+            send_latest[src as usize] = send_latest[src as usize].max(depart);
+            let (src_host, dst_host) = (self.hosts[src as usize], self.hosts[dst as usize]);
+            let arrive = if src_host == dst_host {
+                depart + SimTime::from_secs_f64(bytes as f64 / self.cfg.intra_node_bw)
+            } else {
+                self.fabric.send(src_host, dst_host, bytes, depart)
+            };
+            let recv_done = arrive + self.cfg.per_message_overhead;
+            recv_latest[dst as usize] = recv_latest[dst as usize].max(recv_done);
+            if self.cfg.tracing {
+                self.trace.push_comm(CommRecord {
+                    src,
+                    dst,
+                    send_time: depart,
+                    recv_time: recv_done,
+                    bytes,
+                    collective: coll,
+                });
+            }
+        }
+        for r in 0..n as usize {
+            self.clock[r] = send_latest[r].max(recv_latest[r]);
+        }
+    }
+
+    /// Barrier: everyone waits for the slowest rank (implemented as a
+    /// zero-byte binomial gather + broadcast timing using pure clock
+    /// synchronisation plus a small latency per round).
+    pub fn barrier(&mut self) {
+        let id = self.bump_op();
+        // Gather phase (binomial): child → parent zero-ish messages.
+        self.binomial_to_root(0, 1, Some((CollectiveKind::Barrier, id)));
+        self.binomial_from_root(0, 1, Some((CollectiveKind::Barrier, id)));
+    }
+
+    /// Segment size above which broadcasts pipeline (production MPIs
+    /// switch algorithms around this scale).
+    pub const BCAST_SEGMENT: u64 = 128 * 1024;
+
+    /// Binomial-tree broadcast of `bytes` from `root`. Large payloads are
+    /// pipelined in [`Self::BCAST_SEGMENT`]-byte segments down the same
+    /// tree: a rank forwards segment *s* as soon as it holds it, while
+    /// segment *s+1* is still arriving — so the makespan approaches
+    /// `bytes/bandwidth + depth·segment_time` instead of
+    /// `depth·bytes/bandwidth`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is out of range.
+    pub fn bcast(&mut self, root: u32, bytes: u64) {
+        assert!(root < self.cfg.ranks, "root out of range");
+        let id = self.bump_op();
+        if bytes <= Self::BCAST_SEGMENT {
+            self.binomial_from_root(root, bytes, Some((CollectiveKind::Bcast, id)));
+            return;
+        }
+        let full_segments = bytes / Self::BCAST_SEGMENT;
+        let tail = bytes % Self::BCAST_SEGMENT;
+        for _ in 0..full_segments {
+            self.binomial_from_root(root, Self::BCAST_SEGMENT, Some((CollectiveKind::Bcast, id)));
+        }
+        if tail > 0 {
+            self.binomial_from_root(root, tail, Some((CollectiveKind::Bcast, id)));
+        }
+    }
+
+    /// Pipelined ring broadcast — HPL's `1ring` algorithm: the payload
+    /// travels rank → rank+1 → … in segments, so the pipe fills and the
+    /// makespan approaches `bytes/bandwidth + (p−2)·segment_time`.
+    /// Neighbouring ranks share nodes and leaf switches, so (unlike the
+    /// binomial tree) a ring broadcast barely touches the uplinks — the
+    /// reason HPL tolerates hierarchical commodity Ethernet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is out of range.
+    pub fn bcast_ring(&mut self, root: u32, bytes: u64) {
+        assert!(root < self.cfg.ranks, "root out of range");
+        let n = self.cfg.ranks;
+        if n == 1 {
+            return;
+        }
+        let id = self.bump_op();
+        const SEGMENT: u64 = 1024 * 1024;
+        let mut remaining = bytes;
+        while remaining > 0 {
+            let seg = remaining.min(SEGMENT);
+            remaining -= seg;
+            for i in 0..n - 1 {
+                let src = (root + i) % n;
+                let dst = (root + i + 1) % n;
+                self.transfer(src, dst, seg, Some((CollectiveKind::Bcast, id)));
+            }
+        }
+    }
+
+    /// Binomial-tree reduction of `bytes` to `root`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is out of range.
+    pub fn reduce(&mut self, root: u32, bytes: u64) {
+        assert!(root < self.cfg.ranks, "root out of range");
+        let id = self.bump_op();
+        self.binomial_to_root(root, bytes, Some((CollectiveKind::Allreduce, id)));
+    }
+
+    /// All-reduce: reduce to rank 0 then broadcast (both binomial).
+    pub fn allreduce(&mut self, bytes: u64) {
+        let id = self.bump_op();
+        self.binomial_to_root(0, bytes, Some((CollectiveKind::Allreduce, id)));
+        self.binomial_from_root(0, bytes, Some((CollectiveKind::Allreduce, id)));
+    }
+
+    /// Scatter: `root` sends a distinct `bytes`-sized block to every
+    /// other rank (linear, as small-message scatters are in practice).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is out of range.
+    pub fn scatter(&mut self, root: u32, bytes: u64) {
+        assert!(root < self.cfg.ranks, "root out of range");
+        let id = self.bump_op();
+        for r in 0..self.cfg.ranks {
+            if r != root {
+                self.transfer(root, r, bytes, Some((CollectiveKind::Gather, id)));
+            }
+        }
+    }
+
+    /// All-gather via the ring algorithm: in each of `p−1` steps every
+    /// rank forwards the block it just received to its successor.
+    /// Bandwidth-optimal and uplink-friendly, like [`Comm::bcast_ring`].
+    pub fn allgather_ring(&mut self, bytes: u64) {
+        let n = self.cfg.ranks;
+        if n == 1 {
+            return;
+        }
+        let id = self.bump_op();
+        for _step in 0..n - 1 {
+            let msgs: Vec<(u32, u32, u64)> = (0..n).map(|r| (r, (r + 1) % n, bytes)).collect();
+            self.exchange_tagged(&msgs, Some((CollectiveKind::Gather, id)));
+        }
+    }
+
+    /// Reduce-scatter via the ring algorithm: `p−1` steps, each rank
+    /// passing a shrinking partial sum to its successor. The building
+    /// block of the ring all-reduce.
+    pub fn reduce_scatter_ring(&mut self, bytes: u64) {
+        let n = self.cfg.ranks;
+        if n == 1 {
+            return;
+        }
+        let id = self.bump_op();
+        let block = (bytes / n as u64).max(1);
+        for _step in 0..n - 1 {
+            let msgs: Vec<(u32, u32, u64)> = (0..n).map(|r| (r, (r + 1) % n, block)).collect();
+            self.exchange_tagged(&msgs, Some((CollectiveKind::Allreduce, id)));
+        }
+    }
+
+    /// Ring all-reduce (reduce-scatter + all-gather), the
+    /// bandwidth-optimal algorithm for large payloads: each rank moves
+    /// `2·(p−1)/p · bytes` regardless of `p`.
+    pub fn allreduce_ring(&mut self, bytes: u64) {
+        let n = self.cfg.ranks;
+        if n == 1 {
+            return;
+        }
+        self.reduce_scatter_ring(bytes);
+        let block = (bytes / n as u64).max(1);
+        let id = self.bump_op();
+        for _step in 0..n - 1 {
+            let msgs: Vec<(u32, u32, u64)> = (0..n).map(|r| (r, (r + 1) % n, block)).collect();
+            self.exchange_tagged(&msgs, Some((CollectiveKind::Allreduce, id)));
+        }
+    }
+
+    /// Gather `bytes` from every rank to `root` (linear).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is out of range.
+    pub fn gather(&mut self, root: u32, bytes: u64) {
+        assert!(root < self.cfg.ranks, "root out of range");
+        let id = self.bump_op();
+        for r in 0..self.cfg.ranks {
+            if r != root {
+                self.transfer(r, root, bytes, Some((CollectiveKind::Gather, id)));
+            }
+        }
+    }
+
+    /// Regular all-to-all: every rank sends `bytes` to every other rank
+    /// (linear pairwise exchange).
+    pub fn alltoall(&mut self, bytes: u64) {
+        let n = self.cfg.ranks;
+        let matrix = vec![vec![bytes; n as usize]; n as usize];
+        self.alltoallv_impl(&matrix, CollectiveKind::Alltoall);
+    }
+
+    /// Vector all-to-all: `matrix[src][dst]` bytes from each `src` to
+    /// each `dst` — BigDFT's dominant pattern (Figure 4). Diagonal
+    /// entries are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not `ranks × ranks`.
+    pub fn alltoallv(&mut self, matrix: &[Vec<u64>]) {
+        self.alltoallv_impl(matrix, CollectiveKind::Alltoallv);
+    }
+
+    fn alltoallv_impl(&mut self, matrix: &[Vec<u64>], kind: CollectiveKind) {
+        let n = self.cfg.ranks as usize;
+        assert_eq!(matrix.len(), n, "matrix rows must equal rank count");
+        assert!(
+            matrix.iter().all(|row| row.len() == n),
+            "matrix columns must equal rank count"
+        );
+        let id = self.bump_op();
+        // Linear exchange with rank-rotated pairing (each round r, rank i
+        // sends to (i + r) mod n) — the classic schedule, which floods
+        // shared uplinks when n outgrows one switch.
+        for round in 1..n {
+            #[allow(clippy::needless_range_loop)] // src indexes ranks and matrix rows
+            for src in 0..n {
+                let dst = (src + round) % n;
+                let bytes = matrix[src][dst];
+                if bytes > 0 {
+                    self.transfer(src as u32, dst as u32, bytes, Some((kind, id)));
+                }
+            }
+        }
+        // A collective completes everywhere only when the last message
+        // lands: synchronise participants.
+        let max = self.max_clock();
+        for c in &mut self.clock {
+            *c = max;
+        }
+    }
+
+    fn bump_op(&mut self) -> u64 {
+        let id = self.next_op;
+        self.next_op += 1;
+        id
+    }
+
+    fn binomial_from_root(&mut self, root: u32, bytes: u64, coll: Option<(CollectiveKind, u64)>) {
+        let n = self.cfg.ranks;
+        // Relative numbering: rank 0 == root.
+        let mut reached = 1u32;
+        while reached < n {
+            let senders = reached.min(n - reached);
+            for i in 0..senders {
+                let src_rel = i;
+                let dst_rel = i + reached;
+                if dst_rel < n {
+                    let src = (src_rel + root) % n;
+                    let dst = (dst_rel + root) % n;
+                    self.transfer(src, dst, bytes, coll);
+                }
+            }
+            reached *= 2;
+        }
+    }
+
+    fn binomial_to_root(&mut self, root: u32, bytes: u64, coll: Option<(CollectiveKind, u64)>) {
+        let n = self.cfg.ranks;
+        // Mirror of the broadcast tree: run the rounds in reverse.
+        let mut spans = Vec::new();
+        let mut reached = 1u32;
+        while reached < n {
+            spans.push(reached);
+            reached *= 2;
+        }
+        for &span in spans.iter().rev() {
+            let senders = span.min(n - span);
+            for i in 0..senders {
+                let dst_rel = i;
+                let src_rel = i + span;
+                if src_rel < n {
+                    let src = (src_rel + root) % n;
+                    let dst = (dst_rel + root) % n;
+                    self.transfer(src, dst, bytes, coll);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mb_net::builders::{tibidabo_fabric, tibidabo_fabric_upgraded};
+    use mb_trace::analysis::DelayAnalysis;
+
+    fn comm(nodes: usize, ranks: u32) -> Comm {
+        Comm::new(tibidabo_fabric(nodes), CommConfig::tibidabo(ranks))
+    }
+
+    #[test]
+    fn compute_advances_one_clock() {
+        let mut c = comm(2, 4);
+        c.compute(2, SimTime::from_micros(50));
+        assert_eq!(c.clock(2), SimTime::from_micros(50));
+        assert_eq!(c.clock(0), SimTime::ZERO);
+        assert_eq!(c.max_clock(), SimTime::from_micros(50));
+    }
+
+    #[test]
+    fn p2p_intra_node_faster_than_inter_node() {
+        let mut c = comm(2, 4);
+        // Ranks 0,1 share node 0; rank 2 is on node 1.
+        c.p2p(0, 1, 100_000);
+        let intra = c.clock(1);
+        let mut c = comm(2, 4);
+        c.p2p(0, 2, 100_000);
+        let inter = c.clock(2);
+        assert!(intra < inter, "intra {intra} vs inter {inter}");
+    }
+
+    #[test]
+    fn p2p_receiver_waits_for_message() {
+        let mut c = comm(2, 4);
+        c.p2p(0, 2, 1500);
+        // Receiver clock includes 2× overhead + network time.
+        assert!(c.clock(2) > SimTime::from_micros(50));
+        // Sender only paid the send overhead.
+        assert_eq!(c.clock(0), SimTime::from_micros(25));
+    }
+
+    #[test]
+    fn bcast_reaches_everyone_in_log_rounds() {
+        let mut c = comm(8, 16);
+        c.bcast(0, 1500);
+        // All clocks advanced.
+        for r in 0..16 {
+            assert!(c.clock(r) > SimTime::ZERO, "rank {r} untouched");
+        }
+        // Binomial depth is 4 for 16 ranks: the makespan must be far
+        // below 15 sequential full-hop transfers.
+        let mut single = comm(8, 16);
+        single.p2p(0, 15, 1500); // one full inter-node hop
+        let hop = single.max_clock();
+        assert!(c.max_clock() < hop * 8, "binomial should be ~4 rounds");
+    }
+
+    #[test]
+    fn barrier_synchronises_clocks() {
+        let mut c = comm(4, 8);
+        c.compute(3, SimTime::from_millis(5));
+        c.barrier();
+        let after = c.clock(3);
+        for r in 0..8 {
+            assert!(c.clock(r) >= SimTime::from_millis(5), "rank {r}");
+            // All ranks' clocks are close to the barrier exit.
+            assert!(c.clock(r) <= after + SimTime::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn allreduce_costs_more_than_reduce() {
+        let mut a = comm(4, 8);
+        a.reduce(0, 8192);
+        let mut b = comm(4, 8);
+        b.allreduce(8192);
+        assert!(b.max_clock() > a.max_clock());
+    }
+
+    #[test]
+    fn alltoallv_synchronises_and_traces() {
+        let ranks = 8u32;
+        let mut c = Comm::new(
+            tibidabo_fabric(4),
+            CommConfig::tibidabo(ranks).with_tracing(),
+        );
+        let m = vec![vec![4096u64; ranks as usize]; ranks as usize];
+        c.alltoallv(&m);
+        // All clocks equal after the collective.
+        let t0 = c.clock(0);
+        assert!((0..ranks).all(|r| c.clock(r) == t0));
+        // Trace holds n(n-1) messages tagged alltoallv.
+        let tagged = c
+            .trace()
+            .comms()
+            .iter()
+            .filter(|r| matches!(r.collective, Some((CollectiveKind::Alltoallv, _))))
+            .count();
+        assert_eq!(tagged, 56);
+    }
+
+    #[test]
+    fn congested_fabric_delays_some_collectives() {
+        // 36 ranks on 18 nodes under commodity switches, repeated
+        // all_to_all_v: at least one op should be flagged delayed, and
+        // the upgraded fabric should be faster.
+        let ranks = 36u32;
+        let run = |fabric| {
+            let mut c = Comm::new(fabric, CommConfig::tibidabo(ranks).with_tracing());
+            let m = vec![vec![16_384u64; ranks as usize]; ranks as usize];
+            for _ in 0..12 {
+                c.compute_all(SimTime::from_micros(300));
+                c.alltoallv(&m);
+            }
+            (c.max_clock(), c.into_trace())
+        };
+        let (t_commodity, trace) = run(tibidabo_fabric(18));
+        let (t_upgraded, _) = run(tibidabo_fabric_upgraded(18));
+        assert!(
+            t_upgraded < t_commodity,
+            "upgraded {t_upgraded} vs commodity {t_commodity}"
+        );
+        let analysis = DelayAnalysis::run(&trace, 1.5);
+        assert_eq!(analysis.total_count(CollectiveKind::Alltoallv), 12);
+        assert!(
+            analysis.delayed_count(CollectiveKind::Alltoallv) >= 1,
+            "expected at least one delayed all_to_all_v"
+        );
+    }
+
+    #[test]
+    fn scatter_touches_everyone() {
+        let mut c = comm(4, 8);
+        c.scatter(2, 4096);
+        for r in 0..8 {
+            if r != 2 {
+                assert!(c.clock(r) > SimTime::ZERO, "rank {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_ring_advances_all_ranks_evenly() {
+        let mut c = comm(4, 8);
+        c.allgather_ring(8192);
+        let min = (0..8).map(|r| c.clock(r)).min().expect("ranks");
+        let max = c.max_clock();
+        assert!(min > SimTime::ZERO);
+        // Ring symmetry: completion spread stays small.
+        assert!(max.saturating_sub(min) < max / 2);
+    }
+
+    #[test]
+    fn ring_allreduce_beats_tree_for_large_payloads() {
+        // 4 MB across 16 ranks: the ring moves 2·(p−1)/p·B per rank; the
+        // reduce+bcast tree moves ~2·log(p)·B through the root links.
+        let bytes = 4 << 20;
+        let mut tree = comm(8, 16);
+        tree.allreduce(bytes);
+        let mut ring = comm(8, 16);
+        ring.allreduce_ring(bytes);
+        assert!(
+            ring.max_clock() < tree.max_clock(),
+            "ring {} vs tree {}",
+            ring.max_clock(),
+            tree.max_clock()
+        );
+    }
+
+    #[test]
+    fn tree_allreduce_beats_ring_for_tiny_payloads() {
+        // 8 bytes: latency-bound; the ring pays p−1 hops, the tree log p.
+        let mut tree = comm(16, 32);
+        tree.allreduce(8);
+        let mut ring = comm(16, 32);
+        ring.allreduce_ring(8);
+        assert!(
+            tree.max_clock() < ring.max_clock(),
+            "tree {} vs ring {}",
+            tree.max_clock(),
+            ring.max_clock()
+        );
+    }
+
+    #[test]
+    fn single_rank_collectives_are_free() {
+        let mut c = Comm::new(tibidabo_fabric(1), CommConfig::tibidabo(1));
+        c.allgather_ring(1024);
+        c.allreduce_ring(1024);
+        c.bcast_ring(0, 1024);
+        assert_eq!(c.max_clock(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn trace_disabled_by_default() {
+        let mut c = comm(2, 4);
+        c.alltoall(1024);
+        assert!(c.trace().comms().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "fabric has")]
+    fn too_few_hosts_panics() {
+        let _ = Comm::new(tibidabo_fabric(2), CommConfig::tibidabo(16));
+    }
+
+    #[test]
+    #[should_panic(expected = "p2p requires distinct ranks")]
+    fn p2p_self_panics() {
+        let mut c = comm(2, 4);
+        c.p2p(1, 1, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "matrix rows must equal rank count")]
+    fn bad_matrix_panics() {
+        let mut c = comm(2, 4);
+        c.alltoallv(&[vec![0; 4]]);
+    }
+}

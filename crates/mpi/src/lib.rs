@@ -1,0 +1,39 @@
+//! # mb-mpi — a simulated message-passing runtime
+//!
+//! The paper's applications are MPI codes; their scaling behaviour on
+//! Tibidabo (Figure 3) and the `all_to_all_v` pathology (Figure 4) are
+//! properties of *communication patterns meeting a congested fabric*.
+//! This crate provides the runtime those patterns run on:
+//!
+//! * [`comm::Comm`] — a communicator mapping ranks onto fabric hosts
+//!   (two ranks per Tegra2 node on Tibidabo), with per-rank simulated
+//!   clocks;
+//! * point-to-point sends with eager-protocol semantics and per-message
+//!   software overhead;
+//! * collectives: `barrier`, `bcast` (binomial tree), `reduce`,
+//!   `allreduce`, `gather`, `alltoall` and `alltoallv` (linear exchange,
+//!   the algorithm whose congestion Figure 4 exposes);
+//! * optional tracing: every message becomes an `mb-trace`
+//!   [`mb_trace::record::CommRecord`], collectives tagged with an op id,
+//!   compute phases recorded as states — ready for the Figure 4 analysis.
+//!
+//! # Examples
+//!
+//! ```
+//! use mb_mpi::comm::{Comm, CommConfig};
+//! use mb_net::builders::tibidabo_fabric;
+//! use mb_simcore::time::SimTime;
+//!
+//! // 8 ranks on 4 Tegra2 nodes (2 cores per node).
+//! let mut comm = Comm::new(tibidabo_fabric(4), CommConfig::tibidabo(8));
+//! comm.compute_all(SimTime::from_micros(100));
+//! comm.allreduce(8);
+//! assert!(comm.max_clock() > SimTime::from_micros(100));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod comm;
+
+pub use comm::{Comm, CommConfig};

@@ -1,0 +1,38 @@
+//! # mb-net — network simulation (Ethernet fabrics)
+//!
+//! Tibidabo interconnects its Tegra2 boards "hierarchically using 48-port
+//! 1 GbE switches" (§II.B), and the paper traces BigDFT's scaling collapse
+//! to congestion in exactly those switches (§IV, Figure 4). This crate
+//! simulates that fabric:
+//!
+//! * [`graph`] — the network graph: hosts, switches, full-duplex links
+//!   with bandwidth and latency, and shortest-path routing;
+//! * [`fabric`] — a store-and-forward transfer engine: every message
+//!   queues on each link of its route, so shared uplinks serialise
+//!   traffic; switches have finite shared buffers, and overflow costs a
+//!   pause/retransmit penalty (the "delayed communications" mechanism);
+//! * [`builders`] — topology presets: the hierarchical Tibidabo tree and
+//!   its "upgraded switches" variant (the fix the paper anticipates).
+//!
+//! # Examples
+//!
+//! ```
+//! use mb_net::builders::tibidabo_fabric;
+//! use mb_simcore::time::SimTime;
+//!
+//! let mut fabric = tibidabo_fabric(16);
+//! let hosts = fabric.network().hosts().to_vec();
+//! let t = fabric.send(hosts[0], hosts[1], 1024, SimTime::ZERO);
+//! assert!(t > SimTime::ZERO);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builders;
+pub mod fabric;
+pub mod graph;
+
+pub use builders::{tibidabo_fabric, tibidabo_fabric_bonded, tibidabo_fabric_upgraded};
+pub use fabric::{Fabric, SwitchModel};
+pub use graph::{LinkId, LinkSpec, Network, NodeId};

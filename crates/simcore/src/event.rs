@@ -1,0 +1,407 @@
+//! A deterministic discrete-event queue and a minimal simulation engine.
+//!
+//! Events are ordered by timestamp; ties break by insertion order (FIFO),
+//! which keeps simulations deterministic regardless of how the underlying
+//! heap happens to reorder equal keys.
+//!
+//! Two layers are provided:
+//!
+//! * [`EventQueue`] — a bare time-ordered queue, usable on its own;
+//! * [`Engine`] + [`Model`] — an inversion-of-control wrapper: the model
+//!   handles one event at a time and schedules follow-ups through a
+//!   [`Schedule`] handle.
+//!
+//! # Examples
+//!
+//! ```
+//! use mb_simcore::event::{Engine, Model, Schedule};
+//! use mb_simcore::time::SimTime;
+//!
+//! struct Counter {
+//!     fired: u32,
+//! }
+//!
+//! impl Model for Counter {
+//!     type Event = &'static str;
+//!     fn handle(&mut self, now: SimTime, ev: &'static str, sched: &mut Schedule<&'static str>) {
+//!         self.fired += 1;
+//!         if ev == "tick" && self.fired < 3 {
+//!             sched.after(now, SimTime::from_micros(10), "tick");
+//!         }
+//!     }
+//! }
+//!
+//! let mut engine = Engine::new(Counter { fired: 0 });
+//! engine.schedule(SimTime::ZERO, "tick");
+//! let end = engine.run();
+//! assert_eq!(engine.model().fired, 3);
+//! assert_eq!(end, SimTime::from_micros(20));
+//! ```
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Internal heap entry: min-heap by `(time, seq)`.
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap on (time, seq).
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered event queue with FIFO tie-breaking.
+///
+/// # Examples
+///
+/// ```
+/// use mb_simcore::event::EventQueue;
+/// use mb_simcore::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_nanos(20), "late");
+/// q.push(SimTime::from_nanos(10), "early");
+/// assert_eq!(q.pop(), Some((SimTime::from_nanos(10), "early")));
+/// assert_eq!(q.pop(), Some((SimTime::from_nanos(20), "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` at `time`.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// Timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+/// Handle through which a [`Model`] schedules follow-up events.
+///
+/// Wraps the engine's queue so the model cannot pop events out of order.
+#[derive(Debug)]
+pub struct Schedule<E> {
+    queue: EventQueue<E>,
+}
+
+impl<E> Schedule<E> {
+    /// Schedules `event` at the absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than `now` — scheduling into the past
+    /// would silently corrupt causality.
+    pub fn at(&mut self, now: SimTime, at: SimTime, event: E) {
+        assert!(at >= now, "cannot schedule into the past ({at} < {now})");
+        self.queue.push(at, event);
+    }
+
+    /// Schedules `event` at `now + delay`.
+    pub fn after(&mut self, now: SimTime, delay: SimTime, event: E) {
+        self.queue.push(now + delay, event);
+    }
+
+    /// Schedules `event` immediately (at `now`), after all events already
+    /// queued for `now`.
+    pub fn immediately(&mut self, now: SimTime, event: E) {
+        self.queue.push(now, event);
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// A discrete-event model: state plus an event handler.
+pub trait Model {
+    /// The event type processed by this model.
+    type Event;
+
+    /// Handles one event at simulated time `now`, optionally scheduling
+    /// follow-ups through `sched`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, sched: &mut Schedule<Self::Event>);
+}
+
+/// Drives a [`Model`] to completion over its event queue.
+#[derive(Debug)]
+pub struct Engine<M: Model> {
+    model: M,
+    sched: Schedule<M::Event>,
+    now: SimTime,
+    processed: u64,
+}
+
+impl<M: Model> Engine<M> {
+    /// Creates an engine around a model with an empty queue.
+    pub fn new(model: M) -> Self {
+        Engine {
+            model,
+            sched: Schedule {
+                queue: EventQueue::new(),
+            },
+            now: SimTime::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// Schedules an initial event.
+    pub fn schedule(&mut self, at: SimTime, event: M::Event) {
+        self.sched.queue.push(at, event);
+    }
+
+    /// Runs until the queue drains; returns the final simulated time.
+    pub fn run(&mut self) -> SimTime {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Runs until the queue drains or the next event is later than
+    /// `deadline`; returns the final simulated time.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        while let Some(t) = self.sched.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let (t, ev) = self.sched.queue.pop().expect("peeked");
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            self.processed += 1;
+            self.model.handle(t, ev, &mut self.sched);
+        }
+        self.now
+    }
+
+    /// Processes exactly one event if available; returns its timestamp.
+    pub fn step(&mut self) -> Option<SimTime> {
+        let (t, ev) = self.sched.queue.pop()?;
+        self.now = t;
+        self.processed += 1;
+        self.model.handle(t, ev, &mut self.sched);
+        Some(t)
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Immutable access to the model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Mutable access to the model.
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Consumes the engine, returning the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(30), 3);
+        q.push(SimTime::from_nanos(10), 1);
+        q.push(SimTime::from_nanos(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn queue_fifo_on_ties() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(5);
+        for i in 0..10 {
+            q.push(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn queue_peek_len_clear() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_nanos(7), ());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(7)));
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[derive(Debug, PartialEq)]
+    enum Ev {
+        Ping,
+        Pong,
+    }
+
+    struct PingPong {
+        log: Vec<(SimTime, &'static str)>,
+        rounds: u32,
+    }
+
+    impl Model for PingPong {
+        type Event = Ev;
+        fn handle(&mut self, now: SimTime, ev: Ev, sched: &mut Schedule<Ev>) {
+            match ev {
+                Ev::Ping => {
+                    self.log.push((now, "ping"));
+                    sched.after(now, SimTime::from_nanos(100), Ev::Pong);
+                }
+                Ev::Pong => {
+                    self.log.push((now, "pong"));
+                    self.rounds += 1;
+                    if self.rounds < 3 {
+                        sched.after(now, SimTime::from_nanos(50), Ev::Ping);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engine_runs_model_to_completion() {
+        let mut engine = Engine::new(PingPong {
+            log: Vec::new(),
+            rounds: 0,
+        });
+        engine.schedule(SimTime::ZERO, Ev::Ping);
+        let end = engine.run();
+        assert_eq!(engine.model().rounds, 3);
+        assert_eq!(engine.events_processed(), 6);
+        // 3 rounds: ping@0, pong@100, ping@150, pong@250, ping@300, pong@400
+        assert_eq!(end, SimTime::from_nanos(400));
+        assert_eq!(engine.model().log[0], (SimTime::ZERO, "ping"));
+        assert_eq!(engine.model().log[5], (SimTime::from_nanos(400), "pong"));
+    }
+
+    #[test]
+    fn engine_run_until_stops_at_deadline() {
+        let mut engine = Engine::new(PingPong {
+            log: Vec::new(),
+            rounds: 0,
+        });
+        engine.schedule(SimTime::ZERO, Ev::Ping);
+        engine.run_until(SimTime::from_nanos(200));
+        // Events at 0, 100, 150 processed; 250 is past the deadline.
+        assert_eq!(engine.events_processed(), 3);
+        // Resume.
+        let end = engine.run();
+        assert_eq!(end, SimTime::from_nanos(400));
+    }
+
+    #[test]
+    fn engine_step_by_step() {
+        let mut engine = Engine::new(PingPong {
+            log: Vec::new(),
+            rounds: 0,
+        });
+        engine.schedule(SimTime::ZERO, Ev::Ping);
+        assert_eq!(engine.step(), Some(SimTime::ZERO));
+        assert_eq!(engine.step(), Some(SimTime::from_nanos(100)));
+        assert_eq!(engine.model().log.len(), 2);
+    }
+
+    #[test]
+    fn into_model_returns_state() {
+        let engine = Engine::new(PingPong {
+            log: Vec::new(),
+            rounds: 7,
+        });
+        assert_eq!(engine.into_model().rounds, 7);
+    }
+
+    struct PastScheduler;
+    impl Model for PastScheduler {
+        type Event = ();
+        fn handle(&mut self, now: SimTime, _ev: (), sched: &mut Schedule<()>) {
+            sched.at(now, now.saturating_sub(SimTime::from_nanos(1)), ());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut engine = Engine::new(PastScheduler);
+        engine.schedule(SimTime::from_nanos(10), ());
+        engine.run();
+    }
+}

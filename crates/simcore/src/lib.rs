@@ -1,0 +1,46 @@
+//! # mb-simcore — discrete-event simulation engine
+//!
+//! Foundation crate of the Mont-Blanc DATE'13 reproduction. Every simulator
+//! in the workspace (caches, CPU cost models, Ethernet switches, the MPI
+//! runtime, the OS schedulers) is built on the primitives defined here:
+//!
+//! * [`time`] — simulated time ([`SimTime`]), durations, cycles and
+//!   frequencies, with checked conversions between the cycle and wall-clock
+//!   domains.
+//! * [`event`] — a deterministic time-ordered event queue and a minimal
+//!   discrete-event engine.
+//! * [`rng`] — seedable, dependency-free pseudo-random generators
+//!   (SplitMix64 and xoshiro256++) so that *every* experiment in the
+//!   workspace is reproducible bit-for-bit.
+//! * [`stats`] — online statistics (Welford), confidence intervals,
+//!   histograms, percentiles and least-squares fits used by the analysis
+//!   and reporting layers.
+//! * [`plan`] — randomised measurement plans. Section V.A.1 of the paper
+//!   shows that benchmarks on the ARM boards must be "thoroughly randomized
+//!   to avoid experimental bias"; [`plan::MeasurementPlan`] is that
+//!   randomisation, factored out as a reusable component.
+//!
+//! # Examples
+//!
+//! ```
+//! use mb_simcore::time::{Frequency, SimTime};
+//!
+//! let f = Frequency::from_mhz(1000);          // the Snowball's Cortex-A9
+//! let t = f.cycles_to_time(1_000_000);        // 1e6 cycles @ 1 GHz
+//! assert_eq!(t, SimTime::from_millis(1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod plan;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use event::{Engine, EventQueue, Model, Schedule};
+pub use plan::MeasurementPlan;
+pub use rng::{Rng, SplitMix64, Xoshiro256};
+pub use stats::{Histogram, LinearFit, OnlineStats, Summary};
+pub use time::{Cycles, Frequency, SimTime};

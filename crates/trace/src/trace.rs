@@ -1,0 +1,249 @@
+//! The trace container.
+
+use crate::record::{CommRecord, EventRecord, StateKind, StateRecord};
+use mb_simcore::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// An execution trace: states, events and communications over a fixed set
+/// of ranks.
+///
+/// Records may be pushed in any order; accessors that need ordering sort
+/// lazily on demand.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Trace {
+    num_ranks: u32,
+    states: Vec<StateRecord>,
+    events: Vec<EventRecord>,
+    comms: Vec<CommRecord>,
+}
+
+impl Trace {
+    /// Creates an empty trace over `num_ranks` ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_ranks` is zero.
+    pub fn new(num_ranks: u32) -> Self {
+        assert!(num_ranks > 0, "trace needs at least one rank");
+        Trace {
+            num_ranks,
+            ..Trace::default()
+        }
+    }
+
+    /// Number of ranks.
+    pub fn num_ranks(&self) -> u32 {
+        self.num_ranks
+    }
+
+    /// Appends a state interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rank is out of range or `end < start`.
+    pub fn push_state(&mut self, rank: u32, start: SimTime, end: SimTime, kind: StateKind) {
+        assert!(rank < self.num_ranks, "rank out of range");
+        assert!(end >= start, "state interval must not be negative");
+        self.states.push(StateRecord {
+            rank,
+            start,
+            end,
+            kind,
+        });
+    }
+
+    /// Appends a point event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rank is out of range.
+    pub fn push_event(&mut self, rank: u32, time: SimTime, label: impl Into<String>, value: u64) {
+        assert!(rank < self.num_ranks, "rank out of range");
+        self.events.push(EventRecord {
+            rank,
+            time,
+            label: label.into(),
+            value,
+        });
+    }
+
+    /// Appends a communication record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range or the receive precedes
+    /// the send.
+    pub fn push_comm(&mut self, comm: CommRecord) {
+        assert!(
+            comm.src < self.num_ranks && comm.dst < self.num_ranks,
+            "rank out of range"
+        );
+        assert!(comm.recv_time >= comm.send_time, "receive precedes send");
+        self.comms.push(comm);
+    }
+
+    /// All state records, unsorted.
+    pub fn states(&self) -> &[StateRecord] {
+        &self.states
+    }
+
+    /// All events, unsorted.
+    pub fn events(&self) -> &[EventRecord] {
+        &self.events
+    }
+
+    /// All communications, unsorted.
+    pub fn comms(&self) -> &[CommRecord] {
+        &self.comms
+    }
+
+    /// The latest timestamp appearing anywhere in the trace.
+    pub fn end_time(&self) -> SimTime {
+        let s = self.states.iter().map(|s| s.end).max();
+        let e = self.events.iter().map(|e| e.time).max();
+        let c = self.comms.iter().map(|c| c.recv_time).max();
+        [s, e, c].into_iter().flatten().max().unwrap_or(SimTime::ZERO)
+    }
+
+    /// State records of one rank, sorted by start time.
+    pub fn rank_states(&self, rank: u32) -> Vec<StateRecord> {
+        let mut v: Vec<StateRecord> = self
+            .states
+            .iter()
+            .copied()
+            .filter(|s| s.rank == rank)
+            .collect();
+        v.sort_by_key(|s| s.start);
+        v
+    }
+
+    /// Total time rank `rank` spent in `kind` states.
+    pub fn time_in_state(&self, rank: u32, kind: StateKind) -> SimTime {
+        self.states
+            .iter()
+            .filter(|s| s.rank == rank && s.kind == kind)
+            .map(|s| s.duration())
+            .sum()
+    }
+
+    /// Fraction of the trace's wall-clock the average rank spends
+    /// computing — a quick efficiency indicator.
+    pub fn compute_fraction(&self) -> f64 {
+        let end = self.end_time().as_secs_f64();
+        if end == 0.0 {
+            return 0.0;
+        }
+        let total: f64 = (0..self.num_ranks)
+            .map(|r| self.time_in_state(r, StateKind::Compute).as_secs_f64())
+            .sum();
+        total / (end * self.num_ranks as f64)
+    }
+
+    /// Merges another trace's records (ranks must match).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rank counts differ.
+    pub fn merge(&mut self, other: Trace) {
+        assert_eq!(self.num_ranks, other.num_ranks, "rank count mismatch");
+        self.states.extend(other.states);
+        self.events.extend(other.events);
+        self.comms.extend(other.comms);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::CollectiveKind;
+
+    fn us(v: u64) -> SimTime {
+        SimTime::from_micros(v)
+    }
+
+    #[test]
+    fn push_and_query_states() {
+        let mut t = Trace::new(2);
+        t.push_state(0, us(0), us(10), StateKind::Compute);
+        t.push_state(0, us(10), us(12), StateKind::Communicate);
+        t.push_state(1, us(0), us(8), StateKind::Compute);
+        assert_eq!(t.time_in_state(0, StateKind::Compute), us(10));
+        assert_eq!(t.time_in_state(0, StateKind::Communicate), us(2));
+        assert_eq!(t.time_in_state(1, StateKind::Wait), SimTime::ZERO);
+        assert_eq!(t.end_time(), us(12));
+    }
+
+    #[test]
+    fn rank_states_sorted() {
+        let mut t = Trace::new(1);
+        t.push_state(0, us(5), us(6), StateKind::Wait);
+        t.push_state(0, us(0), us(5), StateKind::Compute);
+        let v = t.rank_states(0);
+        assert_eq!(v[0].start, us(0));
+        assert_eq!(v[1].start, us(5));
+    }
+
+    #[test]
+    fn compute_fraction() {
+        let mut t = Trace::new(2);
+        t.push_state(0, us(0), us(10), StateKind::Compute);
+        t.push_state(1, us(0), us(5), StateKind::Compute);
+        t.push_state(1, us(5), us(10), StateKind::Wait);
+        assert!((t.compute_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comm_and_event_records() {
+        let mut t = Trace::new(4);
+        t.push_event(2, us(3), "phase", 1);
+        t.push_comm(CommRecord {
+            src: 0,
+            dst: 3,
+            send_time: us(1),
+            recv_time: us(2),
+            bytes: 64,
+            collective: Some((CollectiveKind::Bcast, 0)),
+        });
+        assert_eq!(t.events().len(), 1);
+        assert_eq!(t.comms().len(), 1);
+        assert_eq!(t.end_time(), us(3));
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Trace::new(2);
+        a.push_state(0, us(0), us(1), StateKind::Compute);
+        let mut b = Trace::new(2);
+        b.push_state(1, us(0), us(2), StateKind::Compute);
+        a.merge(b);
+        assert_eq!(a.states().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank out of range")]
+    fn bad_rank_panics() {
+        let mut t = Trace::new(1);
+        t.push_state(1, us(0), us(1), StateKind::Compute);
+    }
+
+    #[test]
+    #[should_panic(expected = "receive precedes send")]
+    fn causality_enforced() {
+        let mut t = Trace::new(2);
+        t.push_comm(CommRecord {
+            src: 0,
+            dst: 1,
+            send_time: us(5),
+            recv_time: us(4),
+            bytes: 1,
+            collective: None,
+        });
+    }
+
+    #[test]
+    fn empty_trace_end_time_zero() {
+        let t = Trace::new(3);
+        assert_eq!(t.end_time(), SimTime::ZERO);
+        assert_eq!(t.compute_fraction(), 0.0);
+    }
+}

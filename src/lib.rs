@@ -1,0 +1,19 @@
+//! # montblanc-repro — workspace meta-package
+//!
+//! This crate exists to host the repository-level integration tests
+//! (`tests/`) and the runnable examples (`examples/`). The actual
+//! library surface lives in the [`montblanc`] crate and the `mb-*`
+//! substrate crates; see the repository `README.md` for the map.
+//!
+//! # Examples
+//!
+//! ```
+//! // The meta-crate re-exports nothing; use the real crates:
+//! let snowball = montblanc::platform::Platform::snowball();
+//! assert_eq!(snowball.cores, 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use montblanc;
