@@ -1,0 +1,127 @@
+//! Sweep-engine performance suite: times each paper sweep serially
+//! (one worker) and on the full worker pool, verifies the two runs are
+//! bit-identical, and writes `BENCH_sweeps.json` with the wall-clock
+//! numbers and speedups.
+//!
+//! Usage: `cargo run --release -p mb-bench --bin perfsuite [--quick]`
+//!
+//! The parallel worker count is the machine's available parallelism,
+//! or `MB_THREADS` when set. On a single-core machine the parallel run
+//! degenerates to the serial path and the speedup is ~1.0 by
+//! construction; the `cores` field records what the numbers mean.
+
+use std::time::Instant;
+
+use mb_bench::{header, quick_mode};
+use mb_simcore::par::{thread_count, with_threads};
+use montblanc::{fig3, fig5, fig7, table2};
+
+struct Row {
+    name: &'static str,
+    serial_secs: f64,
+    parallel_secs: f64,
+    identical: bool,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        if self.parallel_secs > 0.0 {
+            self.serial_secs / self.parallel_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Times `run()` under `threads` workers; returns (seconds, result).
+fn timed<R>(threads: usize, run: impl Fn() -> R) -> (f64, R) {
+    let start = Instant::now();
+    let out = with_threads(threads, &run);
+    (start.elapsed().as_secs_f64(), out)
+}
+
+fn measure<R: PartialEq>(name: &'static str, workers: usize, run: impl Fn() -> R) -> Row {
+    let (serial_secs, serial) = timed(1, &run);
+    let (parallel_secs, parallel) = timed(workers, &run);
+    let identical = serial == parallel;
+    let row = Row {
+        name,
+        serial_secs,
+        parallel_secs,
+        identical,
+    };
+    println!(
+        "{:<10} serial {:>8.3}s   parallel {:>8.3}s   speedup {:>5.2}x   bit-identical: {}",
+        row.name,
+        row.serial_secs,
+        row.parallel_secs,
+        row.speedup(),
+        row.identical,
+    );
+    row
+}
+
+fn json(rows: &[Row], workers: usize) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"cores\": {},\n", thread_count().max(workers)));
+    out.push_str(&format!("  \"workers\": {workers},\n"));
+    out.push_str("  \"sweeps\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"serial_secs\": {:.6}, \"parallel_secs\": {:.6}, \
+             \"speedup\": {:.3}, \"bit_identical\": {}}}{}\n",
+            r.name,
+            r.serial_secs,
+            r.parallel_secs,
+            r.speedup(),
+            r.identical,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let quick = quick_mode();
+    let workers = thread_count();
+    header("Sweep-engine performance suite (serial vs parallel)");
+    println!("worker pool: {workers} thread(s)\n");
+
+    let fig3_cfg = if quick {
+        fig3::Fig3Config::quick()
+    } else {
+        fig3::Fig3Config::paper()
+    };
+    let fig5_cfg = if quick {
+        fig5::Fig5Config::quick()
+    } else {
+        fig5::Fig5Config::paper()
+    };
+    let fig7_cfg = if quick {
+        fig7::Fig7Config::quick()
+    } else {
+        fig7::Fig7Config::paper()
+    };
+    let t2_cfg = if quick {
+        table2::Table2Config::quick()
+    } else {
+        table2::Table2Config::paper()
+    };
+
+    let rows = vec![
+        measure("fig3", workers, || fig3::run(&fig3_cfg)),
+        measure("fig5", workers, || fig5::run(&fig5_cfg)),
+        measure("fig7", workers, || fig7::run(&fig7_cfg)),
+        measure("table2", workers, || table2::run_extended(&t2_cfg)),
+    ];
+
+    assert!(
+        rows.iter().all(|r| r.identical),
+        "a parallel sweep diverged from its serial reference"
+    );
+
+    let path = "BENCH_sweeps.json";
+    std::fs::write(path, json(&rows, workers)).expect("write BENCH_sweeps.json");
+    println!("\nresults written to {path}");
+}

@@ -154,6 +154,12 @@ impl ScalingStudy {
     /// sits on the ideal diagonal — exactly how the paper normalises
     /// SPECFEM "versus a 4 core run".
     ///
+    /// Core counts are measured in parallel, one sweep task per point:
+    /// each [`Self::execute`] call is a pure function of `(workload,
+    /// ranks)` with its own internally seeded RNGs, and the speedup
+    /// normalisation happens afterwards in input order, so the series is
+    /// bit-identical to a serial run (see `mb_simcore::par`).
+    ///
     /// # Panics
     ///
     /// Panics if `core_counts` is empty, unsorted, or starts below the
@@ -165,22 +171,28 @@ impl ScalingStudy {
             "core counts must be strictly increasing"
         );
         let baseline_cores = core_counts[0];
-        let mut points = Vec::with_capacity(core_counts.len());
-        let mut baseline_time = SimTime::ZERO;
-        for (i, &cores) in core_counts.iter().enumerate() {
-            let (time, _) = self.execute(workload, cores, false);
-            if i == 0 {
-                baseline_time = time;
-            }
-            let speedup =
-                baseline_cores as f64 * baseline_time.as_secs_f64() / time.as_secs_f64();
-            points.push(ScalingPoint {
-                cores,
-                time,
-                speedup,
-                efficiency: speedup / cores as f64,
-            });
-        }
+        let tasks = core_counts
+            .iter()
+            .map(|&cores| (format!("{}@{}c", workload.name, cores), cores))
+            .collect();
+        let times = mb_simcore::par::sweep_labeled(self.seed, tasks, |_, cores| {
+            self.execute(workload, cores, false).0
+        });
+        let baseline_time = times[0];
+        let points = core_counts
+            .iter()
+            .zip(&times)
+            .map(|(&cores, &time)| {
+                let speedup =
+                    baseline_cores as f64 * baseline_time.as_secs_f64() / time.as_secs_f64();
+                ScalingPoint {
+                    cores,
+                    time,
+                    speedup,
+                    efficiency: speedup / cores as f64,
+                }
+            })
+            .collect();
         ScalingSeries {
             name: workload.name.clone(),
             baseline_cores,
@@ -285,6 +297,16 @@ mod tests {
             .execute(&w, 8, false)
             .0;
         assert_ne!(a, c, "different seed, different jitter");
+    }
+
+    #[test]
+    fn parallel_series_matches_serial() {
+        let study = ScalingStudy::new(FabricKind::Tibidabo);
+        let w = Workload::specfem_tibidabo().with_iterations(4);
+        let counts = [4u32, 8, 16, 32];
+        let parallel = mb_simcore::par::with_threads(4, || study.run(&w, &counts));
+        let serial = mb_simcore::par::with_threads(1, || study.run(&w, &counts));
+        assert_eq!(parallel, serial);
     }
 
     #[test]

@@ -133,19 +133,33 @@ impl UpgradeRow {
 /// prediction that better switches fix the collectives).
 pub fn switch_upgrade(core_counts: &[u32], iterations: u32) -> Vec<UpgradeRow> {
     let w = fig3::workload(fig3::Panel::BigDft, iterations);
+    // One sweep task per (core count, fabric) cell; each `execute` is a
+    // pure function of its inputs, and rows are reassembled in input
+    // order, so the table is bit-identical to a serial run.
+    let fabrics = [
+        FabricKind::Tibidabo,
+        FabricKind::TibidaboBonded(4),
+        FabricKind::TibidaboUpgraded,
+    ];
+    let tasks = core_counts
+        .iter()
+        .flat_map(|&cores| {
+            fabrics
+                .iter()
+                .map(move |&fabric| (format!("bigdft@{cores}c/{fabric:?}"), (cores, fabric)))
+        })
+        .collect();
+    let cells = mb_simcore::par::sweep_labeled(0, tasks, |_, (cores, fabric)| {
+        ScalingStudy::new(fabric).execute(&w, cores, false).0
+    });
     core_counts
         .iter()
-        .map(|&cores| UpgradeRow {
+        .enumerate()
+        .map(|(i, &cores)| UpgradeRow {
             cores,
-            commodity: ScalingStudy::new(FabricKind::Tibidabo)
-                .execute(&w, cores, false)
-                .0,
-            bonded: ScalingStudy::new(FabricKind::TibidaboBonded(4))
-                .execute(&w, cores, false)
-                .0,
-            upgraded: ScalingStudy::new(FabricKind::TibidaboUpgraded)
-                .execute(&w, cores, false)
-                .0,
+            commodity: cells[3 * i],
+            bonded: cells[3 * i + 1],
+            upgraded: cells[3 * i + 2],
         })
         .collect()
 }
@@ -172,36 +186,47 @@ pub fn page_policies(runs: u32) -> Vec<PolicyRow> {
     let platform = Platform::snowball();
     let size = 32 * 1024;
     let data = make_buffer(size, 0xAB1);
-    let mut out = Vec::with_capacity(3);
-    for policy in [
+    let policies = [
         PagePolicy::Contiguous,
         PagePolicy::Random,
         PagePolicy::ReuseLast,
-    ] {
-        let mut means = Vec::with_capacity(runs as usize);
-        for run in 0..runs {
-            let mut allocator = PageAllocator::new(policy, 4096, 1 << 18, 0xAB2 + run as u64);
-            let table = allocator.allocate(size);
-            let mut exec = platform.exec(1);
-            exec.set_page_table(Some(table));
-            exec.set_mlp_hint(1);
-            exec.set_prefetch_hint(0.2);
-            let mb = MembenchConfig {
-                sweeps: 6,
-                ..MembenchConfig::figure5(size)
-            };
-            let (accesses, _) = mb_kernels::membench::run(&mb, &data, &mut exec);
-            let report = exec.finish();
-            means.push(accesses as f64 * 4.0 / report.time.as_secs_f64() / 1e9);
-        }
-        let s = Summary::from_samples(means.iter().copied());
-        out.push(PolicyRow {
-            policy,
-            mean_gbps: s.mean(),
-            across_run_cv: s.cv(),
-        });
-    }
-    out
+    ];
+    // The (policy, run) grid is embarrassingly parallel: every run
+    // builds its own allocator and executor with an explicit seed.
+    let tasks = policies
+        .iter()
+        .flat_map(|&policy| {
+            (0..runs).map(move |run| (format!("{policy:?}/run{run}"), (policy, run)))
+        })
+        .collect();
+    let bandwidths = mb_simcore::par::sweep_labeled(0, tasks, |_, (policy, run)| {
+        let mut allocator = PageAllocator::new(policy, 4096, 1 << 18, 0xAB2 + run as u64);
+        let table = allocator.allocate(size);
+        let mut exec = platform.exec(1);
+        exec.set_page_table(Some(table));
+        exec.set_mlp_hint(1);
+        exec.set_prefetch_hint(0.2);
+        let mb = MembenchConfig {
+            sweeps: 6,
+            ..MembenchConfig::figure5(size)
+        };
+        let (accesses, _) = mb_kernels::membench::run(&mb, &data, &mut exec);
+        let report = exec.finish();
+        accesses as f64 * 4.0 / report.time.as_secs_f64() / 1e9
+    });
+    policies
+        .iter()
+        .enumerate()
+        .map(|(i, &policy)| {
+            let means = &bandwidths[i * runs as usize..(i + 1) * runs as usize];
+            let s = Summary::from_samples(means.iter().copied());
+            PolicyRow {
+                policy,
+                mean_gbps: s.mean(),
+                across_run_cv: s.cv(),
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]

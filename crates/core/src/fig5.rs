@@ -143,9 +143,17 @@ impl Fig5Report {
 }
 
 /// Runs the Figure 5 experiment on the Snowball model.
+///
+/// The stateful parts of the protocol — the randomised plan, the RT
+/// anomaly window and the page allocator (whose `ReuseLast` policy
+/// depends on allocation order) — are walked serially in sequence
+/// order to bind each measurement to its `(seq, size, page table)`.
+/// The measurements themselves are then independent and fan out over
+/// `mb_simcore::par::sweep_labeled`, one fresh executor per task;
+/// `run_model` resets its executor on entry, so a fresh executor is
+/// bit-identical to the reset-and-reuse of a serial run.
 pub fn run(cfg: &Fig5Config) -> Fig5Report {
     let platform = Platform::snowball();
-    let mut exec = platform.exec(1);
     let plan = MeasurementPlan::full_factorial(&cfg.sizes, cfg.reps, cfg.seed);
     let anomaly = RtAnomalyModel::new(
         plan.len(),
@@ -158,24 +166,32 @@ pub fn run(cfg: &Fig5Config) -> Fig5Report {
     let max_size = cfg.sizes.iter().copied().max().expect("non-empty sizes");
     let data = make_buffer(max_size, cfg.seed);
 
-    let mut samples = Vec::with_capacity(plan.len());
-    for (seq, m) in plan.iter().enumerate() {
-        let size = m.level;
-        let table = allocator.allocate(size);
+    let tasks = plan
+        .iter()
+        .enumerate()
+        .map(|(seq, m)| {
+            let size = m.level;
+            (
+                format!("seq{seq}-{size}B"),
+                (seq, size, allocator.allocate(size)),
+            )
+        })
+        .collect();
+    let samples = mb_simcore::par::sweep_labeled(cfg.seed, tasks, |_, (seq, size, table)| {
+        let mut exec = platform.exec(1);
         exec.set_page_table(Some(table));
         let mb_cfg = MembenchConfig {
             sweeps: cfg.sweeps,
             ..MembenchConfig::figure5(size)
         };
         let result = run_model(&mb_cfg, &data, &mut exec);
-        let degraded = anomaly.is_degraded(seq);
-        samples.push(Fig5Sample {
+        Fig5Sample {
             seq,
             array_bytes: size,
             bandwidth_gbps: result.bandwidth_gbps() / anomaly.slowdown_at(seq),
-            degraded,
-        });
-    }
+            degraded: anomaly.is_degraded(seq),
+        }
+    });
     Fig5Report {
         samples,
         config: cfg.clone(),

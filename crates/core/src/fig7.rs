@@ -16,7 +16,7 @@ use mb_cpu::exec_model::ModelExec;
 use mb_cpu::ops::Exec;
 use mb_kernels::magicfilter::{magicfilter_3d, Grid3};
 use mb_tuner::analysis::{staircase_steps, sweet_spot, SweetSpot};
-use mb_tuner::search::{ExhaustiveSearch, Tuner};
+use mb_tuner::search::ExhaustiveSearch;
 use mb_tuner::space::ParameterSpace;
 use serde::{Deserialize, Serialize};
 
@@ -122,18 +122,24 @@ pub fn measure_variant(grid: &Grid3, unroll: u32, exec: &mut ModelExec) -> Fig7P
 fn sweep(platform: &Platform, cfg: &Fig7Config) -> Fig7Panel {
     let e = cfg.grid_edge;
     let grid = Grid3::random(e, e, e, 0xF167);
-    let mut exec = platform.exec(1);
     // Drive the sweep through the tuner so the experiment *is* an
-    // auto-tuning run, as in the paper.
+    // auto-tuning run, as in the paper — the parallel exhaustive search
+    // costs every variant on the sweep worker pool, each on a fresh
+    // executor (`measure_variant` resets its executor on entry, so this
+    // is bit-identical to reusing one serially).
     let space =
         ParameterSpace::new().with_parameter("unroll", (1..=cfg.max_unroll as i64).collect());
-    let mut measured: Vec<Fig7Point> = Vec::new();
-    let _result = ExhaustiveSearch::new().tune(&space, |p| {
+    let measured_cell: parking_lot::Mutex<Vec<Fig7Point>> = parking_lot::Mutex::new(Vec::new());
+    let _result = ExhaustiveSearch::new().tune_par(&space, |p| {
         let unroll = space.value("unroll", p) as u32;
+        let mut exec = platform.exec(1);
         let point = measure_variant(&grid, unroll, &mut exec);
-        measured.push(point);
+        measured_cell.lock().push(point);
         point.cycles as f64
     });
+    // Each unroll degree is measured exactly once, so sorting restores
+    // the deterministic order regardless of worker interleaving.
+    let mut measured = measured_cell.into_inner();
     measured.sort_by_key(|p| p.unroll);
     let cycles_sweep: Vec<(i64, f64)> = measured
         .iter()

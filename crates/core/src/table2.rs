@@ -231,67 +231,79 @@ fn run_hpl_blocked(cfg: &Table2Config, platform: &Platform) -> f64 {
     Linpack::nominal_flops(cfg.linpack_n) as f64 / secs / 1e6
 }
 
-/// Runs the full Table II experiment.
-pub fn run(cfg: &Table2Config) -> Table2Report {
+/// One row's recipe: name, unit, direction, and the kernel runner.
+type RowSpec = (&'static str, &'static str, bool, fn(&Table2Config, &Platform) -> f64);
+
+/// The paper's five rows, in its order. The LINPACK row runs the
+/// blocked HPL-style LU on both machines, as the paper did: "optimized
+/// for Intel architecture while the code remains unchanged [...] on the
+/// ARM platform".
+const PAPER_ROWS: [RowSpec; 5] = [
+    ("LINPACK", "MFLOPS", true, run_hpl_blocked),
+    ("CoreMark", "ops/s", true, run_coremark),
+    ("StockFish", "nodes/s", true, run_stockfish),
+    ("SPECFEM3D", "s", false, run_specfem),
+    ("BigDFT", "s", false, run_bigdft),
+];
+
+/// The two extension rows of [`run_extended`].
+const EXTENSION_ROWS: [RowSpec; 2] = [
+    ("SMMP-like (protein MC)", "sweeps/s", true, run_protein),
+    ("LINPACK (unblocked dgefa)", "MFLOPS", true, run_linpack),
+];
+
+/// Measures the given rows on both machines — one sweep task per
+/// (benchmark, machine) cell, so a five-row table fans out into ten
+/// independent model runs. Every kernel runner builds its own executor,
+/// so the cells are independent and the assembled rows (reduced in spec
+/// order) are bit-identical to a serial run.
+fn measure_rows(cfg: &Table2Config, specs: &[RowSpec]) -> Vec<Table2Row> {
     let snowball = Platform::snowball();
     let xeon = Platform::xeon_x5550();
     let p_snow = snowball.power.nameplate();
     let p_xeon = xeon.power.nameplate();
 
-    let mut rows = Vec::with_capacity(5);
-    let mut push = |benchmark: &str, unit: &'static str, higher_is_better: bool, s: f64, x: f64| {
-        let ratio = if higher_is_better { x / s } else { s / x };
-        rows.push(Table2Row {
-            benchmark: benchmark.to_string(),
-            snowball: s,
-            xeon: x,
-            unit: unit.to_string(),
-            higher_is_better,
-            ratio,
-            energy_ratio: energy_ratio(ratio, p_snow, p_xeon),
-        });
-    };
+    let tasks = specs
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &(name, ..))| {
+            [
+                (format!("{name}/snowball"), (i, false)),
+                (format!("{name}/xeon"), (i, true)),
+            ]
+        })
+        .collect();
+    let cells = mb_simcore::par::sweep_labeled(0, tasks, |_, (i, is_xeon)| {
+        let platform = if is_xeon { &xeon } else { &snowball };
+        (specs[i].3)(cfg, platform)
+    });
 
-    // LINPACK as the paper ran it: "optimized for Intel architecture
-    // while the code remains unchanged [...] on the ARM platform" — a
-    // blocked HPL-style LU on both machines.
-    push(
-        "LINPACK",
-        "MFLOPS",
-        true,
-        run_hpl_blocked(cfg, &snowball),
-        run_hpl_blocked(cfg, &xeon),
-    );
-    push(
-        "CoreMark",
-        "ops/s",
-        true,
-        run_coremark(cfg, &snowball),
-        run_coremark(cfg, &xeon),
-    );
-    push(
-        "StockFish",
-        "nodes/s",
-        true,
-        run_stockfish(cfg, &snowball),
-        run_stockfish(cfg, &xeon),
-    );
-    push(
-        "SPECFEM3D",
-        "s",
-        false,
-        run_specfem(cfg, &snowball),
-        run_specfem(cfg, &xeon),
-    );
-    push(
-        "BigDFT",
-        "s",
-        false,
-        run_bigdft(cfg, &snowball),
-        run_bigdft(cfg, &xeon),
-    );
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, &(benchmark, unit, higher_is_better, _))| {
+            let s = cells[2 * i];
+            let x = cells[2 * i + 1];
+            let ratio = if higher_is_better { x / s } else { s / x };
+            Table2Row {
+                benchmark: benchmark.to_string(),
+                snowball: s,
+                xeon: x,
+                unit: unit.to_string(),
+                higher_is_better,
+                ratio,
+                energy_ratio: energy_ratio(ratio, p_snow, p_xeon),
+            }
+        })
+        .collect()
+}
 
-    Table2Report { rows, config: *cfg }
+/// Runs the full Table II experiment.
+pub fn run(cfg: &Table2Config) -> Table2Report {
+    Table2Report {
+        rows: measure_rows(cfg, &PAPER_ROWS),
+        config: *cfg,
+    }
 }
 
 /// Runs Table II plus two extension rows beyond the paper: a
@@ -300,36 +312,7 @@ pub fn run(cfg: &Table2Config) -> Table2Report {
 /// code path the paper's LINPACK row implies).
 pub fn run_extended(cfg: &Table2Config) -> Table2Report {
     let mut report = run(cfg);
-    let snowball = Platform::snowball();
-    let xeon = Platform::xeon_x5550();
-    let p_snow = snowball.power.nameplate();
-    let p_xeon = xeon.power.nameplate();
-    let mut push = |benchmark: &str, unit: &str, higher_is_better: bool, s: f64, x: f64| {
-        let ratio = if higher_is_better { x / s } else { s / x };
-        report.rows.push(Table2Row {
-            benchmark: benchmark.to_string(),
-            snowball: s,
-            xeon: x,
-            unit: unit.to_string(),
-            higher_is_better,
-            ratio,
-            energy_ratio: energy_ratio(ratio, p_snow, p_xeon),
-        });
-    };
-    push(
-        "SMMP-like (protein MC)",
-        "sweeps/s",
-        true,
-        run_protein(cfg, &snowball),
-        run_protein(cfg, &xeon),
-    );
-    push(
-        "LINPACK (unblocked dgefa)",
-        "MFLOPS",
-        true,
-        run_linpack(cfg, &snowball),
-        run_linpack(cfg, &xeon),
-    );
+    report.rows.extend(measure_rows(cfg, &EXTENSION_ROWS));
     report
 }
 

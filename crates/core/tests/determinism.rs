@@ -1,0 +1,46 @@
+//! Parallel/serial bit-identity for the paper experiments that fan out
+//! over `mb_simcore::par` — the ISSUE's acceptance gate. Every report
+//! type derives `PartialEq`, so equality here means *every* number in
+//! the figure agrees bit for bit.
+
+use mb_simcore::par::with_threads;
+use montblanc::{ablation, fig5, fig7, table2};
+
+#[test]
+fn fig5_42_reps_parallel_matches_serial() {
+    // The paper's 42 randomised repetitions per size (sizes trimmed to
+    // keep the test fast; the repetition count is the part that
+    // exercises the plan/anomaly/allocator sequencing).
+    let cfg = fig5::Fig5Config {
+        reps: 42,
+        ..fig5::Fig5Config::quick()
+    };
+    let serial = with_threads(1, || fig5::run(&cfg));
+    let parallel = with_threads(4, || fig5::run(&cfg));
+    assert_eq!(serial, parallel);
+    assert_eq!(serial.samples.len(), cfg.sizes.len() * 42);
+}
+
+#[test]
+fn fig7_unroll_sweep_parallel_matches_serial() {
+    let cfg = fig7::Fig7Config::quick();
+    let serial = with_threads(1, || fig7::run(&cfg));
+    let parallel = with_threads(4, || fig7::run(&cfg));
+    assert_eq!(serial, parallel);
+    assert_eq!(serial.nehalem.points.len(), cfg.max_unroll as usize);
+}
+
+#[test]
+fn table2_parallel_matches_serial() {
+    let cfg = table2::Table2Config::quick();
+    let serial = with_threads(1, || table2::run_extended(&cfg));
+    let parallel = with_threads(4, || table2::run_extended(&cfg));
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn switch_ablation_parallel_matches_serial() {
+    let serial = with_threads(1, || ablation::switch_upgrade(&[8, 16], 2));
+    let parallel = with_threads(4, || ablation::switch_upgrade(&[8, 16], 2));
+    assert_eq!(serial, parallel);
+}

@@ -456,6 +456,32 @@ impl Exec for ModelExec {
             self.counts.unpredictable_branches += 1;
         }
     }
+
+    fn flop_run(&mut self, kind: FlopKind, prec: Precision, lanes: u32, n: u64) {
+        // Closed-form batch accounting: one multiply instead of n trait
+        // calls. (The cycle total accumulates as `n·(flops/rate)` rather
+        // than n separate adds, which is the same real number; the two
+        // float orderings are each deterministic.)
+        let flops = kind.flops() * lanes as u64;
+        match prec {
+            Precision::F64 => self.counts.flops_f64 += flops * n,
+            Precision::F32 => self.counts.flops_f32 += flops * n,
+        }
+        self.counts.flop_instructions += n;
+        let rate = self.model.flop_rate(prec, lanes);
+        self.flop_cycles += n as f64 * (flops as f64 / rate);
+        if matches!(kind, FlopKind::Div | FlopKind::Sqrt) {
+            self.counts.long_latency_flops += lanes as u64 * n;
+            self.flop_cycles += self.model.long_latency_penalty * (lanes as u64 * n) as f64;
+        }
+    }
+
+    fn branch_run(&mut self, n: u64, predictable: bool) {
+        self.counts.branches += n;
+        if !predictable {
+            self.counts.unpredictable_branches += n;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -84,6 +84,24 @@ pub trait Exec {
     /// Reports a conditional branch; `predictable` distinguishes
     /// loop-style branches from data-dependent ones.
     fn branch(&mut self, predictable: bool);
+
+    /// Reports `n` identical flop instructions in one call — equivalent
+    /// to calling [`Exec::flop`] `n` times. Sinks whose accounting is
+    /// closed-form override this in O(1); kernels should prefer it for
+    /// loops that exist only to report uniform arithmetic.
+    fn flop_run(&mut self, kind: FlopKind, prec: Precision, lanes: u32, n: u64) {
+        for _ in 0..n {
+            self.flop(kind, prec, lanes);
+        }
+    }
+
+    /// Reports `n` branches of equal predictability in one call —
+    /// equivalent to calling [`Exec::branch`] `n` times.
+    fn branch_run(&mut self, n: u64, predictable: bool) {
+        for _ in 0..n {
+            self.branch(predictable);
+        }
+    }
 }
 
 /// A sink that ignores everything — kernels run at native speed.
@@ -110,6 +128,10 @@ impl Exec for NullExec {
     fn store(&mut self, _addr: u64, _bytes: u32) {}
     #[inline(always)]
     fn branch(&mut self, _predictable: bool) {}
+    #[inline(always)]
+    fn flop_run(&mut self, _kind: FlopKind, _prec: Precision, _lanes: u32, _n: u64) {}
+    #[inline(always)]
+    fn branch_run(&mut self, _n: u64, _predictable: bool) {}
 }
 
 /// Aggregated operation counts — a workload characterisation.
@@ -237,6 +259,25 @@ impl Exec for CountingExec {
             self.counts.unpredictable_branches += 1;
         }
     }
+
+    fn flop_run(&mut self, kind: FlopKind, prec: Precision, lanes: u32, n: u64) {
+        let f = kind.flops() * lanes as u64 * n;
+        match prec {
+            Precision::F64 => self.counts.flops_f64 += f,
+            Precision::F32 => self.counts.flops_f32 += f,
+        }
+        self.counts.flop_instructions += n;
+        if matches!(kind, FlopKind::Div | FlopKind::Sqrt) {
+            self.counts.long_latency_flops += lanes as u64 * n;
+        }
+    }
+
+    fn branch_run(&mut self, n: u64, predictable: bool) {
+        self.counts.branches += n;
+        if !predictable {
+            self.counts.unpredictable_branches += n;
+        }
+    }
 }
 
 /// Forwards every report to two sinks — e.g. counting *and* modelling in
@@ -276,6 +317,14 @@ impl<A: Exec, B: Exec> Exec for TeeExec<'_, A, B> {
     fn branch(&mut self, predictable: bool) {
         self.a.branch(predictable);
         self.b.branch(predictable);
+    }
+    fn flop_run(&mut self, kind: FlopKind, prec: Precision, lanes: u32, n: u64) {
+        self.a.flop_run(kind, prec, lanes, n);
+        self.b.flop_run(kind, prec, lanes, n);
+    }
+    fn branch_run(&mut self, n: u64, predictable: bool) {
+        self.a.branch_run(n, predictable);
+        self.b.branch_run(n, predictable);
     }
 }
 

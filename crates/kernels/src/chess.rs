@@ -530,8 +530,8 @@ impl Searcher {
         exec.int_ops(moves.len() as u64 * 6);
         for _ in 0..moves.len() {
             exec.load(0, 4);
-            exec.branch(false);
         }
+        exec.branch_run(moves.len() as u64, false);
         if moves.is_empty() {
             // Checkmate or stalemate.
             return if board.in_check() { -30_000 } else { 0 };

@@ -18,9 +18,9 @@ use serde::{Deserialize, Serialize};
 /// CRC-16/ARC step (polynomial 0x8005, reflected) — CoreMark's `crcu8`.
 fn crc8(data: u8, mut crc: u16, exec: &mut impl Exec) -> u16 {
     let mut x = data;
+    exec.int_ops(32);
+    exec.branch_run(8, false);
     for _ in 0..8 {
-        exec.int_ops(4);
-        exec.branch(false);
         let carry = ((x as u16 ^ crc) & 1) != 0;
         crc >>= 1;
         if carry {

@@ -138,9 +138,10 @@ pub fn magicfilter_pass<E: Exec>(
                 let mut acc = 0.0f64;
                 for (t, &row) in rows.iter().enumerate() {
                     exec.load(in_base + ((row * ndat + jj) * 8) as u64, 8);
-                    exec.flop(FlopKind::Fma, Precision::F64, 1);
                     acc += MAGIC_FILTER[t] * input[row * ndat + jj];
                 }
+                // One batched report for the 16 uniform taps.
+                exec.flop_run(FlopKind::Fma, Precision::F64, 1, rows.len() as u64);
                 exec.store(out_base + ((jj * n + i) * 8) as u64, 8);
                 out[jj * n + i] = acc;
             }

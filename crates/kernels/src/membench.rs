@@ -117,6 +117,7 @@ pub fn run<E: Exec>(cfg: &MembenchConfig, data: &[u8], exec: &mut E) -> (u64, u6
         while i < n_elems {
             // One unrolled iteration group.
             let group = cfg.unroll as usize;
+            let mut grp = 0u64;
             for u in 0..group {
                 let idx = i + u * cfg.stride;
                 if idx >= n_elems {
@@ -124,12 +125,14 @@ pub fn run<E: Exec>(cfg: &MembenchConfig, data: &[u8], exec: &mut E) -> (u64, u6
                 }
                 let off = idx * cfg.elem_bytes;
                 exec.load(off as u64, cfg.elem_bytes as u32);
-                exec.int_ops(1); // index arithmetic + accumulate
                 // Really read the element (first byte stands in for the
                 // whole element in the checksum).
                 checksum = checksum.wrapping_add(data[off] as u64).rotate_left(1);
                 accesses += 1;
+                grp += 1;
             }
+            // Index arithmetic + accumulate, batched for the group.
+            exec.int_ops(grp);
             exec.branch(true);
             i += group * cfg.stride;
         }

@@ -148,35 +148,49 @@ struct Way {
 /// caller's choice — the Section V.A.1 experiments feed physical addresses
 /// produced by a [`crate::pages::PageTable`], which is what makes page
 /// allocation visible to the cache.
+///
+/// Ways are stored in one contiguous array indexed by
+/// `set * associativity + way` (not a `Vec` per set), and the index/tag
+/// extraction uses shift/mask values precomputed from the power-of-two
+/// geometry — `access` is the hottest loop in the whole model and runs
+/// once per simulated memory reference.
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
-    sets: Vec<Vec<Way>>,
+    /// Flattened way storage: set `s`, way `w` lives at
+    /// `s * cfg.associativity + w`.
+    ways: Vec<Way>,
     stats: CacheStats,
     clock: u64,
     rng: Xoshiro256,
     /// Per-set PLRU tree bits (one word per set suffices for ≤64 ways).
     plru: Vec<u64>,
+    /// `log2(line_bytes)`.
+    line_shift: u32,
+    /// `num_sets - 1`.
+    set_mask: u64,
+    /// `log2(num_sets)` — bits dropped from the line number to get the tag.
+    tag_shift: u32,
 }
 
 impl Cache {
     /// Creates an empty cache with the given configuration.
     pub fn new(cfg: CacheConfig) -> Self {
-        let sets = (0..cfg.num_sets())
-            .map(|_| {
-                (0..cfg.associativity)
-                    .map(|_| Way {
-                        tag: 0,
-                        valid: false,
-                        stamp: 0,
-                    })
-                    .collect()
-            })
-            .collect();
+        let ways = vec![
+            Way {
+                tag: 0,
+                valid: false,
+                stamp: 0,
+            };
+            cfg.num_sets() * cfg.associativity
+        ];
         let plru = vec![0u64; cfg.num_sets()];
         Cache {
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            set_mask: (cfg.num_sets() - 1) as u64,
+            tag_shift: cfg.num_sets().trailing_zeros(),
             cfg,
-            sets,
+            ways,
             stats: CacheStats::default(),
             clock: 0,
             rng: Xoshiro256::seed_from(0xCAC4E),
@@ -196,47 +210,54 @@ impl Cache {
 
     /// Resets contents and statistics.
     pub fn reset(&mut self) {
-        for set in &mut self.sets {
-            for way in set {
-                way.valid = false;
-                way.stamp = 0;
-            }
+        for way in &mut self.ways {
+            way.valid = false;
+            way.stamp = 0;
         }
         self.plru.iter_mut().for_each(|b| *b = 0);
         self.stats = CacheStats::default();
         self.clock = 0;
     }
 
+    #[inline]
     fn set_and_tag(&self, addr: u64) -> (usize, u64) {
-        let line = addr / self.cfg.line_bytes as u64;
-        let set = (line as usize) & (self.cfg.num_sets() - 1);
-        let tag = line >> self.cfg.num_sets().trailing_zeros();
+        let line = addr >> self.line_shift;
+        let set = (line & self.set_mask) as usize;
+        let tag = line >> self.tag_shift;
         (set, tag)
     }
 
     /// Accesses one byte address (loads and stores are treated alike:
     /// write-allocate, and dirty write-back traffic is not modelled).
+    ///
+    /// The hit path is a single forward scan over the set's contiguous
+    /// ways; the same pass remembers the first free way so a miss needs
+    /// no second scan.
     pub fn access(&mut self, addr: u64) -> AccessResult {
         self.clock += 1;
         self.stats.accesses += 1;
         let (set_idx, tag) = self.set_and_tag(addr);
-        let ways = self.cfg.associativity;
+        let assoc = self.cfg.associativity;
+        let base = set_idx * assoc;
 
-        // Hit?
-        if let Some(w) = self.sets[set_idx]
-            .iter()
-            .position(|w| w.valid && w.tag == tag)
-        {
-            self.stats.hits += 1;
-            self.sets[set_idx][w].stamp = self.clock;
-            self.touch_plru(set_idx, w);
-            return AccessResult::Hit;
+        let mut free: Option<usize> = None;
+        for w in 0..assoc {
+            let way = &self.ways[base + w];
+            if way.valid {
+                if way.tag == tag {
+                    self.stats.hits += 1;
+                    self.ways[base + w].stamp = self.clock;
+                    self.touch_plru(set_idx, w);
+                    return AccessResult::Hit;
+                }
+            } else if free.is_none() {
+                free = Some(w);
+            }
         }
 
         self.stats.misses += 1;
 
-        // Free way?
-        if let Some(w) = self.sets[set_idx].iter().position(|w| !w.valid) {
+        if let Some(w) = free {
             self.fill(set_idx, w, tag);
             return AccessResult::Miss { evicted: false };
         }
@@ -244,12 +265,17 @@ impl Cache {
         // Evict a victim.
         let victim = match self.cfg.replacement {
             Replacement::Lru => {
-                let set = &self.sets[set_idx];
-                (0..ways)
-                    .min_by_key(|&w| set[w].stamp)
-                    .expect("non-empty set")
+                // First way with the minimum stamp, as `min_by_key` picks.
+                let set = &self.ways[base..base + assoc];
+                let mut best = 0;
+                for w in 1..assoc {
+                    if set[w].stamp < set[best].stamp {
+                        best = w;
+                    }
+                }
+                best
             }
-            Replacement::Random => self.rng.gen_range(ways as u64) as usize,
+            Replacement::Random => self.rng.gen_range(assoc as u64) as usize,
             Replacement::PseudoLru => self.plru_victim(set_idx),
         };
         self.stats.evictions += 1;
@@ -258,7 +284,7 @@ impl Cache {
     }
 
     fn fill(&mut self, set_idx: usize, way: usize, tag: u64) {
-        let w = &mut self.sets[set_idx][way];
+        let w = &mut self.ways[set_idx * self.cfg.associativity + way];
         w.tag = tag;
         w.valid = true;
         w.stamp = self.clock;
@@ -309,7 +335,10 @@ impl Cache {
     /// Returns `true` if the line containing `addr` is resident.
     pub fn contains(&self, addr: u64) -> bool {
         let (set_idx, tag) = self.set_and_tag(addr);
-        self.sets[set_idx].iter().any(|w| w.valid && w.tag == tag)
+        let base = set_idx * self.cfg.associativity;
+        self.ways[base..base + self.cfg.associativity]
+            .iter()
+            .any(|w| w.valid && w.tag == tag)
     }
 }
 

@@ -181,16 +181,13 @@ impl Hierarchy {
     /// and the latency charged in cycles.
     pub fn access(&mut self, addr: u64) -> (HitLevel, u64) {
         self.accesses += 1;
-        let mut missed = Vec::new();
         for (i, (cache, latency)) in self.levels.iter_mut().enumerate() {
             if cache.access(addr).is_hit() {
-                // Install in the levels that missed above this one.
-                // (Already done: their `access` call installed the line.)
-                let _ = &missed;
+                // The levels probed above this one missed, and their
+                // `access` calls already installed the line (inclusive).
                 self.total_cycles += *latency;
                 return (HitLevel::Cache(i), *latency);
             }
-            missed.push(i);
         }
         self.memory_accesses += 1;
         self.total_cycles += self.memory_latency;

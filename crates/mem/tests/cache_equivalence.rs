@@ -1,0 +1,211 @@
+//! Property test: the flattened `Cache` (contiguous way storage +
+//! precomputed shift/masks) behaves identically to the original
+//! nested-`Vec` implementation, re-implemented here as a reference
+//! oracle — every per-access outcome, the final statistics and residency
+//! probes must agree across replacement policies and edge geometries.
+
+use mb_mem::cache::{AccessResult, Cache, CacheConfig, Replacement};
+use mb_simcore::rng::{Rng, Xoshiro256};
+use proptest::prelude::*;
+
+/// The pre-flattening implementation, verbatim modulo names: one `Vec`
+/// of ways per set, division/modulo index extraction, two-pass
+/// hit-then-free scanning.
+struct RefCache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<RefWay>>,
+    clock: u64,
+    rng: Xoshiro256,
+    plru: Vec<u64>,
+    accesses: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+#[derive(Clone)]
+struct RefWay {
+    tag: u64,
+    valid: bool,
+    stamp: u64,
+}
+
+impl RefCache {
+    fn new(cfg: CacheConfig) -> Self {
+        let sets = (0..cfg.num_sets())
+            .map(|_| {
+                vec![
+                    RefWay {
+                        tag: 0,
+                        valid: false,
+                        stamp: 0,
+                    };
+                    cfg.associativity
+                ]
+            })
+            .collect();
+        let plru = vec![0u64; cfg.num_sets()];
+        RefCache {
+            cfg,
+            sets,
+            clock: 0,
+            rng: Xoshiro256::seed_from(0xCAC4E),
+            plru,
+            accesses: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    fn set_and_tag(&self, addr: u64) -> (usize, u64) {
+        let line = addr / self.cfg.line_bytes as u64;
+        let set = (line as usize) & (self.cfg.num_sets() - 1);
+        let tag = line >> self.cfg.num_sets().trailing_zeros();
+        (set, tag)
+    }
+
+    fn access(&mut self, addr: u64) -> AccessResult {
+        self.clock += 1;
+        self.accesses += 1;
+        let (set_idx, tag) = self.set_and_tag(addr);
+        let ways = self.cfg.associativity;
+
+        if let Some(w) = self.sets[set_idx]
+            .iter()
+            .position(|w| w.valid && w.tag == tag)
+        {
+            self.hits += 1;
+            self.sets[set_idx][w].stamp = self.clock;
+            self.touch_plru(set_idx, w);
+            return AccessResult::Hit;
+        }
+
+        self.misses += 1;
+
+        if let Some(w) = self.sets[set_idx].iter().position(|w| !w.valid) {
+            self.fill(set_idx, w, tag);
+            return AccessResult::Miss { evicted: false };
+        }
+
+        let victim = match self.cfg.replacement {
+            Replacement::Lru => {
+                let set = &self.sets[set_idx];
+                (0..ways)
+                    .min_by_key(|&w| set[w].stamp)
+                    .expect("non-empty set")
+            }
+            Replacement::Random => self.rng.gen_range(ways as u64) as usize,
+            Replacement::PseudoLru => self.plru_victim(set_idx),
+        };
+        self.evictions += 1;
+        self.fill(set_idx, victim, tag);
+        AccessResult::Miss { evicted: true }
+    }
+
+    fn fill(&mut self, set_idx: usize, way: usize, tag: u64) {
+        let w = &mut self.sets[set_idx][way];
+        w.tag = tag;
+        w.valid = true;
+        w.stamp = self.clock;
+        self.touch_plru(set_idx, way);
+    }
+
+    fn touch_plru(&mut self, set_idx: usize, way: usize) {
+        let ways = self.cfg.associativity;
+        if !ways.is_power_of_two() || ways < 2 {
+            return;
+        }
+        let levels = ways.trailing_zeros();
+        let bits = &mut self.plru[set_idx];
+        let mut node = 1usize;
+        for level in (0..levels).rev() {
+            let bit = (way >> level) & 1;
+            if bit == 0 {
+                *bits |= 1 << node;
+            } else {
+                *bits &= !(1 << node);
+            }
+            node = node * 2 + bit;
+        }
+    }
+
+    fn plru_victim(&self, set_idx: usize) -> usize {
+        let ways = self.cfg.associativity;
+        let levels = ways.trailing_zeros();
+        let bits = self.plru[set_idx];
+        let mut node = 1usize;
+        let mut way = 0usize;
+        for _ in 0..levels {
+            let b = ((bits >> node) & 1) as usize;
+            way = (way << 1) | b;
+            node = node * 2 + b;
+        }
+        way
+    }
+
+    fn contains(&self, addr: u64) -> bool {
+        let (set_idx, tag) = self.set_and_tag(addr);
+        self.sets[set_idx].iter().any(|w| w.valid && w.tag == tag)
+    }
+}
+
+/// Edge geometries: direct-mapped, tiny 2-way, fully associative
+/// (single set), odd non-power-of-two associativity (PLRU degrades to
+/// its early-return path), and a realistic L1 shape.
+fn geometry(index: usize) -> CacheConfig {
+    let (size, line, assoc) = match index % 6 {
+        0 => (256, 16, 1),         // direct-mapped
+        1 => (128, 16, 2),         // tiny 2-way
+        2 => (512, 32, 16),        // fully associative: one set
+        3 => (96, 16, 3),          // 3-way: PLRU early-return path
+        4 => (4 * 1024, 32, 4),    // Cortex-A9 L1 shape, scaled down
+        _ => (2 * 1024, 64, 8),    // Nehalem L1 shape, scaled down
+    };
+    let replacement = match index / 6 % 3 {
+        0 => Replacement::Lru,
+        1 => Replacement::Random,
+        _ => Replacement::PseudoLru,
+    };
+    CacheConfig::new(size, line, assoc, replacement)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn flattened_cache_matches_nested_reference(
+        geo in 0usize..18,
+        addrs in prop::collection::vec(0u64..8192, 1..400),
+        with_reset in proptest::arbitrary::any::<bool>(),
+    ) {
+        let cfg = geometry(geo);
+        let mut real = Cache::new(cfg);
+        let mut oracle = RefCache::new(cfg);
+        let split = addrs.len() / 2;
+        for (i, &addr) in addrs.iter().enumerate() {
+            if with_reset && i == split {
+                // `reset` must also agree (it keeps the RNG state).
+                real.reset();
+                let fresh_rng = std::mem::replace(
+                    &mut oracle.rng,
+                    Xoshiro256::seed_from(0),
+                );
+                oracle = RefCache::new(cfg);
+                oracle.rng = fresh_rng;
+            }
+            let got = real.access(addr);
+            let want = oracle.access(addr);
+            prop_assert_eq!(got, want, "access #{} to {:#x} under {:?}", i, addr, cfg);
+        }
+        let stats = *real.stats();
+        prop_assert_eq!(stats.accesses, oracle.accesses);
+        prop_assert_eq!(stats.hits, oracle.hits);
+        prop_assert_eq!(stats.misses, oracle.misses);
+        prop_assert_eq!(stats.evictions, oracle.evictions);
+        // Residency probes over the whole address range agree too.
+        for probe in (0..8192u64).step_by(16) {
+            prop_assert_eq!(real.contains(probe), oracle.contains(probe));
+        }
+    }
+}

@@ -15,6 +15,10 @@
 //! * [`stats`] — online statistics (Welford), confidence intervals,
 //!   histograms, percentiles and least-squares fits used by the analysis
 //!   and reporting layers.
+//! * [`par`] — deterministic parallel sweep execution: scoped worker
+//!   pools whose results are bit-identical to a serial run, because every
+//!   task's RNG seed is pre-derived from the experiment seed and results
+//!   are reduced in input order.
 //! * [`plan`] — randomised measurement plans. Section V.A.1 of the paper
 //!   shows that benchmarks on the ARM boards must be "thoroughly randomized
 //!   to avoid experimental bias"; [`plan::MeasurementPlan`] is that
@@ -34,12 +38,14 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod par;
 pub mod plan;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use event::{Engine, EventQueue, Model, Schedule};
+pub use par::TaskCtx;
 pub use plan::MeasurementPlan;
 pub use rng::{Rng, SplitMix64, Xoshiro256};
 pub use stats::{Histogram, LinearFit, OnlineStats, Summary};

@@ -1,0 +1,290 @@
+//! Deterministic parallel sweep execution.
+//!
+//! Every experiment in the workspace is a *sweep*: an ordered list of
+//! independent measurements (problem sizes, repetitions, core counts,
+//! unroll factors) reduced into one report. This module runs those
+//! sweeps on a scoped worker pool while keeping the results
+//! **bit-identical** to a serial run:
+//!
+//! * each task's RNG seed is derived up front from the experiment seed
+//!   by iterating [`SplitMix64`] — task *i* always sees the same seed
+//!   regardless of which worker claims it, in which order, or how many
+//!   workers exist;
+//! * results are collected into their input slot, so the returned
+//!   `Vec` preserves input ordering and any serial reduction over it is
+//!   unchanged;
+//! * tasks must not share mutable state (the `Fn(..) -> R + Sync` bound
+//!   enforces this at compile time); all cross-task coupling goes
+//!   through the precomputed seeds and inputs.
+//!
+//! The worker count comes from [`thread_count`]: an in-scope
+//! [`with_threads`] override wins, then the `MB_THREADS` environment
+//! variable, then [`std::thread::available_parallelism`]. `MB_THREADS=1`
+//! is the debugging escape hatch that forces every sweep in the process
+//! onto the calling thread; `with_threads(1, ..)` does the same for one
+//! closure and is what the determinism tests use to obtain the serial
+//! oracle.
+//!
+//! If a task panics, the sweep panics with the failing task's label so
+//! a 2 100-point sweep names the one measurement that died.
+//!
+//! # Examples
+//!
+//! ```
+//! use mb_simcore::par;
+//!
+//! let squares = par::sweep(0xF00D, (0..64u64).collect(), |ctx, x| {
+//!     // ctx.seed is stable for this index across any thread count.
+//!     let _ = ctx.seed;
+//!     x * x
+//! });
+//! assert_eq!(squares[7], 49);
+//! let serial = par::with_threads(1, || {
+//!     par::sweep(0xF00D, (0..64u64).collect(), |_, x| x * x)
+//! });
+//! assert_eq!(squares, serial);
+//! ```
+
+use crate::rng::{Rng, SplitMix64};
+use parking_lot::Mutex;
+use std::cell::Cell;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+thread_local! {
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Restores the previous thread override even if the closure panics.
+struct OverrideGuard {
+    prev: Option<usize>,
+}
+
+impl Drop for OverrideGuard {
+    fn drop(&mut self) {
+        THREAD_OVERRIDE.with(|c| c.set(self.prev));
+    }
+}
+
+/// Runs `f` with every [`sweep`] on this thread using exactly `n`
+/// workers, restoring the previous setting afterwards (also on panic).
+///
+/// The override is thread-local, so concurrently running tests cannot
+/// race each other's settings. `with_threads(1, ..)` yields the serial
+/// reference execution.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    let prev = THREAD_OVERRIDE.with(|c| c.replace(Some(n.max(1))));
+    let _guard = OverrideGuard { prev };
+    f()
+}
+
+/// Number of workers a [`sweep`] started on this thread will use:
+/// the innermost [`with_threads`] override if any, else `MB_THREADS`
+/// from the environment, else the machine's available parallelism.
+pub fn thread_count() -> usize {
+    if let Some(n) = THREAD_OVERRIDE.with(|c| c.get()) {
+        return n;
+    }
+    if let Some(n) = std::env::var("MB_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        return n.max(1);
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Per-task context handed to the sweep closure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskCtx {
+    /// Position of this task in the input (and output) ordering.
+    pub index: usize,
+    /// Deterministic seed for this task, independent of scheduling.
+    pub seed: u64,
+}
+
+/// Derives one seed per task from the experiment seed by iterating
+/// SplitMix64. Exposed so tests can assert the exact derivation.
+pub fn derive_seeds(experiment_seed: u64, n: usize) -> Vec<u64> {
+    let mut sm = SplitMix64::new(experiment_seed);
+    (0..n).map(|_| sm.next_u64()).collect()
+}
+
+/// Best-effort text from a panic payload.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Runs one task per item on a scoped worker pool, returning results in
+/// input order. Tasks are labelled `task-{index}`; use [`sweep_labeled`]
+/// to attach meaningful labels to panic reports.
+///
+/// Bit-identical to a serial run by construction — see the module docs
+/// for the contract.
+pub fn sweep<T, R, F>(experiment_seed: u64, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(TaskCtx, T) -> R + Sync,
+{
+    let tasks = items
+        .into_iter()
+        .enumerate()
+        .map(|(i, item)| (format!("task-{i}"), item))
+        .collect();
+    sweep_labeled(experiment_seed, tasks, f)
+}
+
+/// [`sweep`] with caller-supplied task labels, surfaced verbatim in the
+/// panic message when a task fails.
+pub fn sweep_labeled<T, R, F>(experiment_seed: u64, tasks: Vec<(String, T)>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(TaskCtx, T) -> R + Sync,
+{
+    let n = tasks.len();
+    let seeds = derive_seeds(experiment_seed, n);
+    let workers = thread_count().min(n.max(1));
+
+    if workers <= 1 {
+        // Serial reference path (MB_THREADS=1 / with_threads(1, ..)).
+        return tasks
+            .into_iter()
+            .zip(&seeds)
+            .enumerate()
+            .map(|(index, ((_, item), &seed))| f(TaskCtx { index, seed }, item))
+            .collect();
+    }
+
+    // One slot per task; workers claim indices from a shared counter, so
+    // scheduling is dynamic but the (index, seed, item) binding is fixed.
+    let slots: Vec<Mutex<Option<(String, T)>>> =
+        tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let aborted = AtomicBool::new(false);
+    let failure: Mutex<Option<(String, String)>> = Mutex::new(None);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                if aborted.load(Ordering::Acquire) {
+                    break;
+                }
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= n {
+                    break;
+                }
+                let (label, item) = slots[index]
+                    .lock()
+                    .take()
+                    .expect("each task index is claimed exactly once");
+                let ctx = TaskCtx {
+                    index,
+                    seed: seeds[index],
+                };
+                match std::panic::catch_unwind(AssertUnwindSafe(|| f(ctx, item))) {
+                    Ok(r) => *results[index].lock() = Some(r),
+                    Err(payload) => {
+                        let mut slot = failure.lock();
+                        if slot.is_none() {
+                            *slot = Some((label, panic_text(payload.as_ref())));
+                        }
+                        aborted.store(true, Ordering::Release);
+                        break;
+                    }
+                }
+            });
+        }
+    })
+    .expect("sweep workers neither panic nor detach");
+
+    if let Some((label, message)) = failure.into_inner() {
+        panic!("sweep task '{label}' panicked: {message}");
+    }
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("every claimed task stored a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_ordering() {
+        let out = sweep(1, (0..257u64).collect(), |_, x| 2 * x);
+        assert_eq!(out, (0..257u64).map(|x| 2 * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn seeds_follow_splitmix_stream() {
+        let seeds = derive_seeds(0xABCD, 5);
+        let mut sm = SplitMix64::new(0xABCD);
+        for &s in &seeds {
+            assert_eq!(s, sm.next_u64());
+        }
+        let ctx_seeds = sweep(0xABCD, vec![(); 5], |ctx, ()| ctx.seed);
+        assert_eq!(ctx_seeds, seeds);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let work = |ctx: TaskCtx, x: u64| {
+            let mut rng = SplitMix64::new(ctx.seed);
+            rng.next_u64() ^ x.wrapping_mul(ctx.index as u64)
+        };
+        let par = with_threads(8, || sweep(42, (0..100).collect(), work));
+        let ser = with_threads(1, || sweep(42, (0..100).collect(), work));
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn empty_sweep_is_fine() {
+        let out: Vec<u64> = sweep(7, Vec::<u64>::new(), |_, x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn with_threads_restores_on_exit() {
+        with_threads(3, || {
+            assert_eq!(thread_count(), 3);
+            with_threads(1, || assert_eq!(thread_count(), 1));
+            assert_eq!(thread_count(), 3);
+        });
+    }
+
+    #[test]
+    fn panic_carries_task_label() {
+        let caught = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                sweep_labeled(
+                    0,
+                    (0..16)
+                        .map(|i| (format!("size-{}", 100 * i), i))
+                        .collect(),
+                    |_, i: i32| {
+                        if i == 11 {
+                            panic!("bad measurement");
+                        }
+                        i
+                    },
+                )
+            })
+        });
+        let payload = caught.expect_err("sweep must propagate the panic");
+        let text = panic_text(payload.as_ref());
+        assert!(text.contains("size-1100"), "got: {text}");
+        assert!(text.contains("bad measurement"), "got: {text}");
+    }
+}

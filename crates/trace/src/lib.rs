@@ -42,4 +42,4 @@ pub use analysis::{CollectiveReport, DelayAnalysis};
 pub use record::{CollectiveKind, CommRecord, EventRecord, StateKind, StateRecord};
 pub use reader::parse_prv;
 pub use trace::Trace;
-pub use writer::write_prv;
+pub use writer::{write_prv, write_prv_to};

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Local CI gate: build, full test suite, lints. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test --workspace --quiet
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI green."

@@ -1,0 +1,198 @@
+//! Offline stand-in for `criterion`: a minimal wall-clock benchmark
+//! harness exposing the API subset the workspace's benches use
+//! (`benchmark_group`, `bench_function`, `bench_with_input`,
+//! `Bencher::iter`, `criterion_group!` / `criterion_main!`).
+//!
+//! Timing model: each benchmark body is warmed up once, then timed over
+//! enough iterations to fill a short measurement window; the mean time
+//! per iteration is printed. There is no statistical analysis, outlier
+//! rejection, or HTML report — this exists so `cargo bench` compiles and
+//! produces honest rough numbers without network access to crates.io.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifies a parameterised benchmark: `function_name/parameter`.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id rendered as `{function_name}/{parameter}`.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+    window: Duration,
+}
+
+impl Bencher {
+    /// Runs `body` repeatedly inside the measurement window, recording
+    /// total elapsed time and iteration count.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut body: F) {
+        std::hint::black_box(body()); // warm-up, untimed
+        let window = self.window;
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            std::hint::black_box(body());
+            iters += 1;
+            if start.elapsed() >= window {
+                break;
+            }
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    fn run_one(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            window: self.criterion.window,
+        };
+        f(&mut b);
+        let per_iter = if b.iters == 0 {
+            Duration::ZERO
+        } else {
+            b.elapsed / u32::try_from(b.iters).unwrap_or(u32::MAX)
+        };
+        println!(
+            "{}/{:<40} {:>12.3?} /iter  ({} iters)",
+            self.name, id, per_iter, b.iters
+        );
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function(&mut self, id: impl fmt::Display, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        self.run_one(&id.to_string(), f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run_one(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Accepted for API compatibility; sampling is time-window based
+    /// here, so the count is ignored.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Ends the group (no-op; prints nothing).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    window: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // MB_BENCH_WINDOW_MS shortens or lengthens measurement windows,
+        // e.g. in CI smoke runs.
+        let ms = std::env::var("MB_BENCH_WINDOW_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300u64);
+        Criterion {
+            window: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks `f` at the top level (its own single-entry group).
+    pub fn bench_function(&mut self, id: impl fmt::Display, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let name = id.to_string();
+        let mut g = self.benchmark_group("bench");
+        g.bench_function(name, f);
+        g.finish();
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        std::env::set_var("MB_BENCH_WINDOW_MS", "5");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        let mut count = 0u64;
+        g.bench_function("count", |b| b.iter(|| count += 1));
+        g.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.sample_size(10);
+        g.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn id_formats_as_name_slash_param() {
+        assert_eq!(BenchmarkId::new("f", "64b").to_string(), "f/64b");
+    }
+}

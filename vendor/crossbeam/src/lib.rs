@@ -1,0 +1,85 @@
+//! Offline stand-in for `crossbeam`, providing the scoped-thread subset
+//! the workspace uses (`crossbeam::thread::scope`), backed by
+//! `std::thread::scope` (stable since Rust 1.63).
+//!
+//! Differences from the real crate are deliberate and tiny:
+//!
+//! * `Scope::spawn` takes a plain `FnOnce()` closure (the real crate
+//!   passes the scope back into the closure; no caller here needs it);
+//! * `scope` catches a panicking *closure* as well as panicking child
+//!   threads, returning both as `Err`.
+
+#![forbid(unsafe_code)]
+
+/// Scoped threads (`crossbeam::thread`).
+pub mod thread {
+    use std::panic::AssertUnwindSafe;
+
+    /// A handle to a scope for spawning borrowed-data threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// A handle to a scoped thread, joinable before the scope ends.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish; `Err` carries its panic
+        /// payload.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. Panics in the child are reported when
+        /// the scope exits (or by `join`), exactly as with
+        /// `std::thread::scope`.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce() -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(f),
+            }
+        }
+    }
+
+    /// Creates a scope in which threads borrowing from the environment
+    /// can be spawned; all are joined before `scope` returns.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let sum = super::thread::scope(|s| {
+            let a = s.spawn(|| data[..2].iter().sum::<u64>());
+            let b = s.spawn(|| data[2..].iter().sum::<u64>());
+            a.join().expect("no panic") + b.join().expect("no panic")
+        })
+        .expect("scope completes");
+        assert_eq!(sum, 10);
+    }
+
+    #[test]
+    fn child_panic_surfaces_as_err() {
+        let r = super::thread::scope(|s| {
+            let h = s.spawn(|| panic!("boom"));
+            h.join().is_err()
+        });
+        assert_eq!(r.ok(), Some(true));
+    }
+}

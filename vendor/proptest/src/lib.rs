@@ -1,0 +1,371 @@
+//! Offline stand-in for `proptest`: a deterministic mini
+//! property-testing harness covering the subset of the API this
+//! workspace uses.
+//!
+//! Supported surface:
+//!
+//! * `proptest! { ... }` blocks of `fn name(arg in strategy, ...)` tests,
+//!   with optional `#![proptest_config(ProptestConfig::with_cases(n))]`;
+//! * strategies: integer and float `Range`s, `any::<T>()`,
+//!   `prop::bool::ANY`, `prop::collection::vec(elem, len_range)`, and
+//!   tuples of strategies;
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
+//!
+//! Unlike the real crate there is no shrinking and no persisted failure
+//! seeds: inputs are drawn from a SplitMix64 stream seeded from the test
+//! function's name, so every run of a given test sees the same cases.
+
+#![forbid(unsafe_code)]
+
+/// Input generation: the [`Strategy`](strategy::Strategy) trait and
+/// implementations for ranges and tuples.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A recipe for producing values of `Self::Value` from an RNG.
+    pub trait Strategy {
+        /// The type of value this strategy yields.
+        type Value;
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    macro_rules! impl_uint_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+        )*};
+    }
+    impl_uint_range!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_int_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128 % span) as i128;
+                    (self.start as i128 + off) as $t
+                }
+            }
+        )*};
+    }
+    impl_int_range!(i8, i16, i32, i64, isize);
+
+    macro_rules! impl_float_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let unit = rng.next_unit_f64() as $t;
+                    self.start + unit * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+    impl_float_range!(f32, f64);
+
+    macro_rules! impl_tuple {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple!(A);
+    impl_tuple!(A, B);
+    impl_tuple!(A, B, C);
+    impl_tuple!(A, B, C, D);
+    impl_tuple!(A, B, C, D, E);
+}
+
+/// `any::<T>()` — full-domain strategies for primitive types.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Finite, sign- and magnitude-varied; never NaN/inf.
+            let unit = rng.next_unit_f64() * 2.0 - 1.0;
+            let exp = (rng.next_u64() % 41) as i32 - 20;
+            unit * (2f64).powi(exp)
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The full-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Runner plumbing: configuration and the deterministic RNG.
+pub mod test_runner {
+    /// Per-block configuration; only `cases` is honoured.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Number of input cases each test function is run with.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Configuration running `cases` inputs per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// SplitMix64 generator seeded from the test name — deterministic
+    /// across runs and platforms.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds from an FNV-1a hash of `name`.
+        pub fn from_name(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next raw 64-bit value (SplitMix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, 1)` with 53 bits of precision.
+        pub fn next_unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+/// Namespaced strategy constructors (`prop::collection`, `prop::bool`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        use std::ops::Range;
+
+        /// Strategy for `Vec<S::Value>` with length drawn from a range.
+        pub struct VecStrategy<S> {
+            elem: S,
+            len: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let n = self.len.generate(rng);
+                (0..n).map(|_| self.elem.generate(rng)).collect()
+            }
+        }
+
+        /// Vector of `elem` values with length in `len`.
+        pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+            assert!(len.start < len.end, "empty length range");
+            VecStrategy { elem, len }
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Strategy yielding either boolean with equal probability.
+        pub struct BoolAny;
+
+        /// The uniform boolean strategy.
+        pub const ANY: BoolAny = BoolAny;
+
+        impl Strategy for BoolAny {
+            type Value = bool;
+            fn generate(&self, rng: &mut TestRng) -> bool {
+                rng.next_u64() & 1 == 1
+            }
+        }
+    }
+}
+
+/// Everything a test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...)` becomes
+/// a zero-argument function run against `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(
+            (<$crate::test_runner::ProptestConfig as ::core::default::Default>::default())
+            $($rest)*
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+            for __case in 0..__config.cases {
+                $(
+                    let $arg =
+                        $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                )+
+                let _ = __case;
+                $body
+            }
+        }
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// Range strategies respect their bounds; vec lengths too.
+        #[test]
+        fn bounds_hold(
+            x in 10u64..20,
+            f in -2.0f64..2.0,
+            v in prop::collection::vec(0u8..5, 3..9),
+        ) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&f));
+            prop_assert!(v.len() >= 3 && v.len() < 9);
+            prop_assert!(v.iter().all(|&b| b < 5));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        /// Tuple strategies compose; `any` covers the full domain.
+        #[test]
+        fn tuples_and_any(
+            (a, b, k) in (0u64..100, 0usize..8, 1u32..4),
+            s in any::<u64>(),
+            flag in prop::bool::ANY,
+        ) {
+            prop_assert!(a < 100 && b < 8 && (1..4).contains(&k));
+            let _ = (s, flag);
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = crate::test_runner::TestRng::from_name("t");
+        let mut b = crate::test_runner::TestRng::from_name("t");
+        for _ in 0..8 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

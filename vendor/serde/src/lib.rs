@@ -1,0 +1,29 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, and nothing in the
+//! workspace actually drives a serialiser (reports are rendered by hand
+//! or written as text/CSV/JSON directly). This stub keeps the ubiquitous
+//! `#[derive(Serialize, Deserialize)]` annotations compiling:
+//!
+//! * [`Serialize`] / [`Deserialize`] are marker traits with blanket
+//!   impls, so any `T: Serialize` bound is satisfied;
+//! * the re-exported derive macros expand to nothing.
+//!
+//! If real serialisation is ever needed, replace this stub with the
+//! actual crate — the annotations in the workspace are already correct.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all
+/// types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
