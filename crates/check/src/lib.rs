@@ -1,0 +1,78 @@
+//! # mb-check — the determinism lint engine
+//!
+//! The simulator's core promise is that every experiment is a pure
+//! function of its explicit seeds: serial and parallel runs are
+//! bit-identical, and a rerun months later reproduces every figure
+//! exactly. That promise is easy to break silently — one `HashMap`
+//! iteration feeding a result, one `Instant::now()` in a model, one
+//! unseeded RNG — which is the simulation analogue of the OS-level
+//! measurement pitfalls in §V of the paper.
+//!
+//! `mb-check` machine-checks the contract:
+//!
+//! * [`walker`] — deterministic discovery of `crates/*/src/**/*.rs`;
+//! * [`source`] — comment/string stripping, `#[cfg(test)]` tracking and
+//!   `// mb-check: allow(<rule>)` suppressions;
+//! * [`rules`] — the six determinism rules;
+//! * [`report`] — human and JSON rendering.
+//!
+//! Run it with `cargo run -p mb-check`; it exits nonzero when any
+//! finding survives suppressions, and `scripts/ci.sh` treats that as a
+//! failed build. The runtime half of the contract (trace and
+//! operand-stream invariants) lives in `mb_cpu::validate` behind the
+//! `validate` feature; see DESIGN.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod rules;
+pub mod source;
+pub mod walker;
+
+pub use report::{render_human, render_json, Finding};
+pub use rules::{check_file, RuleId, ALL_RULES};
+pub use source::SourceFile;
+
+use std::io;
+use std::path::Path;
+
+/// Lints every workspace source file under `root`. Findings come back
+/// sorted by file, then line, then rule.
+///
+/// # Errors
+///
+/// Returns the first I/O error hit while walking or reading sources.
+pub fn run_check(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for path in walker::workspace_sources(root)? {
+        let text = std::fs::read_to_string(root.join(&path))?;
+        let rel = path.to_string_lossy().replace('\\', "/");
+        findings.extend(check_file(&rel, &SourceFile::parse(&text)));
+    }
+    findings.sort();
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    #[test]
+    fn workspace_is_clean() {
+        // The acceptance gate, from the inside: the real workspace has
+        // zero findings. CI also enforces this via the binary.
+        let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("workspace root exists")
+            .to_path_buf();
+        let findings = run_check(&root).expect("walk succeeds");
+        assert!(
+            findings.is_empty(),
+            "workspace must be lint-clean:\n{}",
+            render_human(&findings)
+        );
+    }
+}

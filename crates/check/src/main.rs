@@ -1,0 +1,73 @@
+//! The `mb-check` command-line interface.
+//!
+//! ```text
+//! mb-check [--root <dir>] [--json] [--list-rules]
+//! ```
+//!
+//! Exits 0 when the workspace is clean, 1 when findings remain after
+//! suppressions, 2 on usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mb_check::{render_human, render_json, run_check, ALL_RULES};
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("mb-check: --root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--json" => json = true,
+            "--list-rules" => {
+                for rule in ALL_RULES {
+                    println!("{:<20} {}", rule.name(), rule.description());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "-h" | "--help" => {
+                println!(
+                    "mb-check: determinism lints for the Mont-Blanc simulator\n\
+                     \n\
+                     usage: mb-check [--root <dir>] [--json] [--list-rules]\n\
+                     \n\
+                     Walks crates/*/src under the root (default: .) and checks\n\
+                     the determinism contract. Suppress a finding with a\n\
+                     `// mb-check: allow(<rule>)` comment on or above the line.\n\
+                     Exit codes: 0 clean, 1 findings, 2 errors."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("mb-check: unknown argument {other:?} (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match run_check(&root) {
+        Ok(findings) => {
+            let rendered = if json {
+                render_json(&findings)
+            } else {
+                render_human(&findings)
+            };
+            print!("{rendered}");
+            if findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("mb-check: {}: {err}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Finding records and the two output formats.
+//!
+//! JSON is hand-rolled (the workspace's vendored `serde` is a no-op
+//! stub), with full string escaping so paths and messages survive
+//! machine consumption in CI.
+
+use std::fmt::Write as _;
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Rule name (kebab-case).
+    pub rule: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// Renders findings for terminals: one `file:line: [rule] message` per
+/// finding plus a summary line.
+pub fn render_human(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        let _ = writeln!(out, "{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+    }
+    if findings.is_empty() {
+        out.push_str("mb-check: no findings\n");
+    } else {
+        let _ = writeln!(
+            out,
+            "mb-check: {} finding{}",
+            findings.len(),
+            if findings.len() == 1 { "" } else { "s" }
+        );
+    }
+    out
+}
+
+/// Renders findings as a stable JSON document:
+/// `{"findings":[...],"count":N}`.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"rule\":{},\"file\":{},\"line\":{},\"message\":{}}}",
+            json_string(&f.rule),
+            json_string(&f.file),
+            f.line,
+            json_string(&f.message)
+        );
+    }
+    let _ = write!(out, "],\"count\":{}}}", findings.len());
+    out.push('\n');
+    out
+}
+
+/// Escapes a string for JSON output.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Finding> {
+        vec![Finding {
+            rule: "unwrap-in-lib".to_string(),
+            file: "crates/os/src/lib.rs".to_string(),
+            line: 12,
+            message: "a \"quoted\" message".to_string(),
+        }]
+    }
+
+    #[test]
+    fn human_output_lists_and_counts() {
+        let text = render_human(&sample());
+        assert!(text.contains("crates/os/src/lib.rs:12: [unwrap-in-lib]"));
+        assert!(text.contains("1 finding\n"));
+        assert!(render_human(&[]).contains("no findings"));
+    }
+
+    #[test]
+    fn json_output_escapes_and_counts() {
+        let json = render_json(&sample());
+        assert!(json.contains("\"rule\":\"unwrap-in-lib\""));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.ends_with("\"count\":1}\n"));
+        assert_eq!(render_json(&[]), "{\"findings\":[],\"count\":0}\n");
+    }
+
+    #[test]
+    fn json_escapes_control_chars() {
+        assert_eq!(json_string("a\nb\t\u{1}"), "\"a\\nb\\t\\u0001\"");
+    }
+}

@@ -1,0 +1,440 @@
+//! A lossy line-oriented model of a Rust source file.
+//!
+//! The lint rules are token-level, so the only parsing they need is the
+//! part that prevents false positives: comment and string/char literal
+//! stripping (a `"thread_rng"` inside a doc example or a format string
+//! must not fire), `#[cfg(test)]` module tracking (test code is exempt
+//! from the determinism contract), and `// mb-check: allow(<rule>)`
+//! suppression comments.
+
+/// One analysed source line.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// Code content with comments and string/char literals blanked out
+    /// (each stripped character becomes a space, so columns survive).
+    pub code: String,
+    /// Concatenated comment text of this line (without `//` / `/* */`
+    /// markers).
+    pub comment: String,
+    /// Whether any part of the line lies inside a `#[cfg(test)]` module.
+    pub in_test: bool,
+    /// Rule names suppressed on this line via `mb-check: allow(...)`.
+    pub allowed: Vec<String>,
+}
+
+impl Line {
+    /// Whether `rule` is suppressed on this line.
+    pub fn allows(&self, rule: &str) -> bool {
+        self.allowed.iter().any(|r| r == rule)
+    }
+}
+
+/// A parsed source file.
+#[derive(Debug, Clone, Default)]
+pub struct SourceFile {
+    /// The analysed lines, in order (index 0 = line 1).
+    pub lines: Vec<Line>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    CharLit,
+}
+
+impl SourceFile {
+    /// Parses a source file into stripped lines with test/suppression
+    /// annotations.
+    pub fn parse(source: &str) -> Self {
+        let chars: Vec<char> = source.chars().collect();
+        let mut lines = Vec::new();
+        let mut code = String::new();
+        let mut comment = String::new();
+        let mut state = State::Code;
+        let mut i = 0usize;
+        while i < chars.len() {
+            let c = chars[i];
+            if c == '\n' {
+                // A line comment ends here; everything else survives the
+                // newline (block comments, multi-line strings).
+                if state == State::LineComment {
+                    state = State::Code;
+                }
+                lines.push(Line {
+                    code: std::mem::take(&mut code),
+                    comment: std::mem::take(&mut comment),
+                    ..Line::default()
+                });
+                i += 1;
+                continue;
+            }
+            match state {
+                State::Code => {
+                    let next = chars.get(i + 1).copied();
+                    if c == '/' && next == Some('/') {
+                        state = State::LineComment;
+                        i += 2;
+                    } else if c == '/' && next == Some('*') {
+                        state = State::BlockComment(1);
+                        code.push_str("  ");
+                        i += 2;
+                    } else if c == '"' {
+                        state = State::Str;
+                        code.push(' ');
+                        i += 1;
+                    } else if (c == 'r' || c == 'b') && is_raw_string_start(&chars, i) {
+                        let (hashes, consumed) = raw_string_open(&chars, i);
+                        state = State::RawStr(hashes);
+                        for _ in 0..consumed {
+                            code.push(' ');
+                        }
+                        i += consumed;
+                    } else if c == 'b' && next == Some('"') {
+                        state = State::Str;
+                        code.push_str("  ");
+                        i += 2;
+                    } else if c == '\'' {
+                        if is_char_literal(&chars, i) {
+                            state = State::CharLit;
+                            code.push(' ');
+                        } else {
+                            // A lifetime: the tick is real code.
+                            code.push(c);
+                        }
+                        i += 1;
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                }
+                State::LineComment => {
+                    comment.push(c);
+                    i += 1;
+                }
+                State::BlockComment(depth) => {
+                    let next = chars.get(i + 1).copied();
+                    if c == '*' && next == Some('/') {
+                        state = if depth > 1 {
+                            State::BlockComment(depth - 1)
+                        } else {
+                            State::Code
+                        };
+                        i += 2;
+                    } else if c == '/' && next == Some('*') {
+                        state = State::BlockComment(depth + 1);
+                        i += 2;
+                    } else {
+                        comment.push(c);
+                        i += 1;
+                    }
+                }
+                State::Str => {
+                    if c == '\\' {
+                        code.push_str("  ");
+                        i += 2;
+                    } else if c == '"' {
+                        state = State::Code;
+                        code.push(' ');
+                        i += 1;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                State::RawStr(hashes) => {
+                    if c == '"' && closes_raw_string(&chars, i, hashes) {
+                        state = State::Code;
+                        for _ in 0..=hashes as usize {
+                            code.push(' ');
+                        }
+                        i += 1 + hashes as usize;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                State::CharLit => {
+                    if c == '\\' {
+                        code.push_str("  ");
+                        i += 2;
+                    } else if c == '\'' {
+                        state = State::Code;
+                        code.push(' ');
+                        i += 1;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+            }
+        }
+        if !code.is_empty() || !comment.is_empty() {
+            lines.push(Line {
+                code,
+                comment,
+                ..Line::default()
+            });
+        }
+        let mut file = SourceFile { lines };
+        file.mark_test_modules();
+        file.apply_suppressions();
+        file
+    }
+
+    /// Marks lines inside `#[cfg(test)]` modules by tracking brace depth
+    /// on the stripped code.
+    fn mark_test_modules(&mut self) {
+        let mut depth = 0i64;
+        // Depth at which the innermost `#[cfg(test)]` region opened.
+        let mut test_open: Option<i64> = None;
+        // A `#[cfg(test)]` attribute was seen and is waiting for its
+        // item's opening brace.
+        let mut pending_attr = false;
+        for line in &mut self.lines {
+            let starts_in_test = test_open.is_some();
+            if line.code.contains("#[cfg(test)]") {
+                pending_attr = true;
+            }
+            let mut in_test_now = starts_in_test;
+            for c in line.code.chars() {
+                match c {
+                    '{' => {
+                        if pending_attr && test_open.is_none() {
+                            test_open = Some(depth);
+                            pending_attr = false;
+                            in_test_now = true;
+                        }
+                        depth += 1;
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if let Some(open) = test_open {
+                            if depth <= open {
+                                test_open = None;
+                            }
+                        }
+                    }
+                    // `#[cfg(test)] use …;` gates a statement, not a
+                    // block — the attribute is spent at the semicolon.
+                    ';' if test_open.is_none() => pending_attr = false,
+                    _ => {}
+                }
+            }
+            line.in_test = starts_in_test || in_test_now || test_open.is_some();
+        }
+    }
+
+    /// Attaches `mb-check: allow(...)` directives: a trailing comment
+    /// suppresses on its own line; a standalone comment line suppresses
+    /// on the next line that carries code.
+    fn apply_suppressions(&mut self) {
+        let mut pending: Vec<String> = Vec::new();
+        for line in &mut self.lines {
+            let mut here = parse_allow_directives(&line.comment);
+            let has_code = !line.code.trim().is_empty();
+            if has_code {
+                here.append(&mut pending);
+                line.allowed = here;
+            } else {
+                pending.append(&mut here);
+            }
+        }
+    }
+}
+
+/// Extracts every rule name from `mb-check: allow(a, b)` directives in a
+/// comment. Unknown rule names are kept — the rule layer validates them.
+pub fn parse_allow_directives(comment: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = comment;
+    while let Some(at) = rest.find("mb-check:") {
+        rest = &rest[at + "mb-check:".len()..];
+        let trimmed = rest.trim_start();
+        if let Some(args) = trimmed.strip_prefix("allow(") {
+            if let Some(close) = args.find(')') {
+                for rule in args[..close].split(',') {
+                    let rule = rule.trim();
+                    if !rule.is_empty() {
+                        out.push(rule.to_string());
+                    }
+                }
+                rest = &args[close + 1..];
+            }
+        }
+    }
+    out
+}
+
+/// Whether position `i` starts a raw (byte) string: `r"`, `r#`, `br"`,
+/// `br#`.
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+        if chars.get(j) != Some(&'r') {
+            return false;
+        }
+    }
+    if chars.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Consumes a raw-string opener at `i`; returns `(hash_count, chars)`.
+fn raw_string_open(chars: &[char], i: usize) -> (u32, usize) {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    j += 1; // the 'r'
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // the opening quote
+    (hashes, j - i)
+}
+
+/// Whether the `"` at `i` closes a raw string with `hashes` hashes.
+fn closes_raw_string(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Distinguishes a char literal from a lifetime at a `'` in code
+/// position: `'x'` and `'\n'` are literals, `'a` in `&'a str` is not.
+fn is_char_literal(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some('\\') => true,
+        Some(_) => chars.get(i + 2) == Some(&'\''),
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(src: &str) -> Vec<String> {
+        SourceFile::parse(src)
+            .lines
+            .iter()
+            .map(|l| l.code.clone())
+            .collect()
+    }
+
+    #[test]
+    fn strips_line_comments() {
+        let c = codes("let x = 1; // HashMap here\nlet y = 2;");
+        assert!(!c[0].contains("HashMap"));
+        assert!(c[0].contains("let x = 1;"));
+        assert_eq!(c[1], "let y = 2;");
+    }
+
+    #[test]
+    fn strips_doc_comments_and_block_comments() {
+        let c = codes("/// uses HashMap\n/* multi\nline HashMap */ let z = 3;");
+        assert!(c.iter().all(|l| !l.contains("HashMap")));
+        assert!(c[2].contains("let z = 3;"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let c = codes("/* outer /* inner */ still comment */ code();");
+        assert!(!c[0].contains("still"));
+        assert!(c[0].contains("code();"));
+    }
+
+    #[test]
+    fn strips_string_and_char_literals() {
+        let c = codes(r#"let s = "thread_rng"; let c = 'x'; let l: &'static str = s;"#);
+        assert!(!c[0].contains("thread_rng"));
+        assert!(!c[0].contains('x') || c[0].contains("&'static"), "{:?}", c[0]);
+        assert!(c[0].contains("&'static str"), "lifetimes survive: {:?}", c[0]);
+    }
+
+    #[test]
+    fn strips_raw_strings() {
+        let src = "let s = r#\"Instant \"quoted\" inside\"#; after();";
+        let c = codes(src);
+        assert!(!c[0].contains("Instant"));
+        assert!(c[0].contains("after();"));
+    }
+
+    #[test]
+    fn escaped_quote_in_string() {
+        let c = codes(r#"let s = "a\"b SystemTime"; done();"#);
+        assert!(!c[0].contains("SystemTime"));
+        assert!(c[0].contains("done();"));
+    }
+
+    #[test]
+    fn marks_cfg_test_modules() {
+        let src = "\
+fn lib_code() {}
+#[cfg(test)]
+mod tests {
+    fn helper() {}
+    #[test]
+    fn t() {}
+}
+fn more_lib() {}
+";
+        let f = SourceFile::parse(src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[2].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(f.lines[5].in_test);
+        assert!(!f.lines[7].in_test, "after the mod closes");
+    }
+
+    #[test]
+    fn cfg_test_on_statement_does_not_open_region() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn real() { body(); }\n";
+        let f = SourceFile::parse(src);
+        assert!(!f.lines[2].in_test);
+    }
+
+    #[test]
+    fn trailing_suppression_applies_to_own_line() {
+        let src = "let m = HashMap::new(); // mb-check: allow(hashmap-iter-order)\n";
+        let f = SourceFile::parse(src);
+        assert!(f.lines[0].allows("hashmap-iter-order"));
+    }
+
+    #[test]
+    fn standalone_suppression_applies_to_next_code_line() {
+        let src = "\
+// mb-check: allow(unwrap-in-lib)
+
+let v = x.unwrap();
+let w = y.unwrap();
+";
+        let f = SourceFile::parse(src);
+        assert!(!f.lines[0].allows("unwrap-in-lib"), "comment line itself");
+        assert!(f.lines[2].allows("unwrap-in-lib"));
+        assert!(!f.lines[3].allows("unwrap-in-lib"), "only the next line");
+    }
+
+    #[test]
+    fn multiple_rules_in_one_directive() {
+        let got = parse_allow_directives(" mb-check: allow(a-rule , b-rule)");
+        assert_eq!(got, vec!["a-rule".to_string(), "b-rule".to_string()]);
+    }
+
+    #[test]
+    fn directive_in_code_position_is_ignored() {
+        let src = "let s = \"mb-check: allow(unwrap-in-lib)\"; x.unwrap();\n";
+        let f = SourceFile::parse(src);
+        assert!(!f.lines[0].allows("unwrap-in-lib"), "strings are not comments");
+    }
+}

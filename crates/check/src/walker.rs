@@ -1,0 +1,95 @@
+//! Deterministic workspace file discovery.
+//!
+//! Walks `crates/*/src/**/*.rs` under a workspace root, visiting
+//! directories and files in byte-sorted name order so the finding list —
+//! and therefore CI output — is identical on every filesystem.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// All `.rs` files under `<root>/crates/*/src`, workspace-relative and
+/// byte-sorted.
+///
+/// # Errors
+///
+/// Returns any I/O error hit while listing directories (a missing
+/// `crates/` directory is an error: it means the root is wrong).
+pub fn workspace_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    let mut files = Vec::new();
+    for dir in crate_dirs {
+        let src = dir.join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut files)?;
+        }
+    }
+    // Report paths relative to the root.
+    for f in &mut files {
+        if let Ok(rel) = f.strip_prefix(root) {
+            *f = rel.to_path_buf();
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted per level.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for entry in entries {
+        if entry.is_dir() {
+            collect_rs(&entry, out)?;
+        } else if entry.extension().is_some_and(|e| e == "rs") {
+            out.push(entry);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The real workspace: this test runs from `crates/check`, two
+    /// levels below the root.
+    fn root() -> PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("crates/check sits two levels under the workspace root")
+            .to_path_buf()
+    }
+
+    #[test]
+    fn finds_known_sources_sorted() {
+        let files = workspace_sources(&root()).expect("workspace walk succeeds");
+        assert!(files.len() > 30, "got {}", files.len());
+        let as_str: Vec<String> = files
+            .iter()
+            .map(|p| p.to_string_lossy().replace('\\', "/"))
+            .collect();
+        assert!(as_str.iter().any(|p| p == "crates/net/src/graph.rs"));
+        assert!(as_str.iter().any(|p| p == "crates/check/src/walker.rs"));
+        let mut sorted = as_str.clone();
+        sorted.sort();
+        assert_eq!(as_str, sorted, "walk order must be sorted");
+    }
+
+    #[test]
+    fn missing_root_is_an_error() {
+        assert!(workspace_sources(Path::new("/nonexistent/nowhere")).is_err());
+    }
+}

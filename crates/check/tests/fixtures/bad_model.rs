@@ -1,0 +1,27 @@
+//! A deliberately dirty "model" file — never compiled. It exists to
+//! pin the lint engine's findings byte-for-byte in golden tests.
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub struct BadConfig {
+    pub wakeup_delay: u64,
+}
+
+fn dirty() {
+    let mut rng = rand::thread_rng();
+    let t0 = Instant::now();
+    let m: HashMap<u32, u32> = HashMap::new();
+    std::thread::spawn(|| {});
+    let v = m.get(&0).unwrap();
+    // The sanctioned escape hatch:
+    let w = m.get(&1).unwrap(); // mb-check: allow(unwrap-in-lib)
+    let _ = (rng, t0, v, w);
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet; // exempt: test module
+    fn t() {
+        let _ = HashSet::<u32>::new().iter().next().unwrap();
+    }
+}

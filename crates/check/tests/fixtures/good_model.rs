@@ -1,0 +1,18 @@
+//! A clean "model" file — never compiled. Golden counterpart of
+//! `bad_model.rs`: the same shapes written the contract-abiding way.
+use std::collections::BTreeMap;
+
+pub struct GoodConfig {
+    pub wakeup_delay_cycles: u64,
+    pub link_latency: SimTime,
+    pub drain_bps: f64,
+}
+
+fn tidy(seed: u64) {
+    let mut rng = Xoshiro256::seed_from(seed);
+    let m: BTreeMap<u32, u32> = BTreeMap::new();
+    let v = m.get(&0).copied().unwrap_or(0);
+    let w = m.get(&1).expect("entry 1 is inserted above");
+    let label = "a HashMap and an Instant in a string are fine";
+    let _ = (rng, v, w, label);
+}

@@ -1,0 +1,59 @@
+//! Golden-fixture tests: known-bad and known-good source snippets must
+//! produce byte-identical findings JSON, release after release. Any
+//! change to rule text, ordering or JSON shape shows up here as a diff.
+
+use mb_check::{check_file, render_human, render_json, SourceFile};
+
+/// The fictional workspace path the fixtures are linted under: a model
+/// crate, library path — every rule is in scope.
+const FIXTURE_PATH: &str = "crates/net/src/fixture.rs";
+
+fn lint(src: &str) -> Vec<mb_check::Finding> {
+    let mut findings = check_file(FIXTURE_PATH, &SourceFile::parse(src));
+    findings.sort();
+    findings
+}
+
+#[test]
+fn bad_fixture_matches_golden_json() {
+    let findings = lint(include_str!("fixtures/bad_model.rs"));
+    assert_eq!(
+        render_json(&findings),
+        include_str!("fixtures/bad_model.expected.json"),
+        "human view for debugging:\n{}",
+        render_human(&findings)
+    );
+}
+
+#[test]
+fn bad_fixture_fires_every_rule_except_suppressed() {
+    let findings = lint(include_str!("fixtures/bad_model.rs"));
+    let rules: Vec<&str> = findings.iter().map(|f| f.rule.as_str()).collect();
+    for expected in [
+        "hashmap-iter-order",
+        "wall-clock-in-model",
+        "unseeded-rng",
+        "rogue-threads",
+        "unwrap-in-lib",
+        "unit-suffix",
+    ] {
+        assert!(rules.contains(&expected), "missing {expected}: {rules:?}");
+    }
+    // Line 17 carries an allow(unwrap-in-lib) and line 25 unwraps inside
+    // the test module: neither may appear.
+    assert!(
+        findings.iter().all(|f| f.line != 17 && f.line != 25),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn good_fixture_is_clean() {
+    let findings = lint(include_str!("fixtures/good_model.rs"));
+    assert!(
+        findings.is_empty(),
+        "clean fixture must have zero findings:\n{}",
+        render_human(&findings)
+    );
+    assert_eq!(render_json(&findings), "{\"findings\":[],\"count\":0}\n");
+}

@@ -1,0 +1,70 @@
+//! Property tests for suppression-comment parsing: any subset of rules,
+//! rendered with any spacing style, must round-trip through
+//! `parse_allow_directives` exactly.
+
+use mb_check::source::parse_allow_directives;
+use mb_check::ALL_RULES;
+use proptest::prelude::*;
+
+/// Renders a directive for `chosen` rules with the given spacing knobs.
+fn render(chosen: &[&str], spaced_commas: bool, padded: bool, lead: bool) -> String {
+    let sep = if spaced_commas { " , " } else { "," };
+    let pad = if padded { "   " } else { "" };
+    let lead = if lead { "  note: " } else { "" };
+    format!("{lead}mb-check:{pad}allow({})", chosen.join(sep))
+}
+
+fn pick(mask: usize) -> Vec<&'static str> {
+    ALL_RULES
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << i) != 0)
+        .map(|(_, r)| r.name())
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn allow_directive_round_trips(
+        mask in 0usize..64,
+        spaced_commas in prop::bool::ANY,
+        padded in prop::bool::ANY,
+        lead in prop::bool::ANY,
+    ) {
+        let chosen = pick(mask);
+        let comment = render(&chosen, spaced_commas, padded, lead);
+        let parsed = parse_allow_directives(&comment);
+        let expect: Vec<String> = chosen.iter().map(|s| s.to_string()).collect();
+        prop_assert_eq!(parsed, expect);
+    }
+
+    #[test]
+    fn two_directives_concatenate(
+        mask_a in 0usize..64,
+        mask_b in 0usize..64,
+        spaced_commas in prop::bool::ANY,
+    ) {
+        let a = pick(mask_a);
+        let b = pick(mask_b);
+        let comment = format!(
+            "{} and also {}",
+            render(&a, spaced_commas, false, false),
+            render(&b, !spaced_commas, true, false),
+        );
+        let parsed = parse_allow_directives(&comment);
+        let expect: Vec<String> = a.iter().chain(b.iter()).map(|s| s.to_string()).collect();
+        prop_assert_eq!(parsed, expect);
+    }
+
+    #[test]
+    fn unrelated_comment_text_parses_to_nothing(
+        mask in 0usize..64,
+        padded in prop::bool::ANY,
+    ) {
+        // Rule names without the directive marker mean nothing.
+        let chosen = pick(mask);
+        let pad = if padded { "  " } else { "" };
+        let comment = format!("{pad}uses {} carefully", chosen.join(" and "));
+        prop_assert_eq!(parse_allow_directives(&comment), Vec::<String>::new());
+    }
+}

@@ -26,7 +26,7 @@ pub struct Platform {
     /// TLB geometry.
     pub tlb: TlbConfig,
     /// TLB miss penalty in cycles.
-    pub tlb_miss_penalty: u64,
+    pub tlb_miss_penalty_cycles: u64,
     /// Nameplate power of the whole platform.
     pub power: PowerModel,
 }
@@ -40,7 +40,7 @@ impl Platform {
             cores: 2,
             hierarchy: HierarchyConfig::snowball_a9500(),
             tlb: TlbConfig::new(32, 4096),
-            tlb_miss_penalty: 40,
+            tlb_miss_penalty_cycles: 40,
             power: PowerModel::snowball(),
         }
     }
@@ -54,7 +54,7 @@ impl Platform {
             cores: 4,
             hierarchy: HierarchyConfig::xeon_x5550(),
             tlb: TlbConfig::new(64, 4096),
-            tlb_miss_penalty: 30,
+            tlb_miss_penalty_cycles: 30,
             power: PowerModel::xeon_x5550(),
         }
     }
@@ -67,7 +67,7 @@ impl Platform {
             cores: 2,
             hierarchy: HierarchyConfig::tegra2(),
             tlb: TlbConfig::new(32, 4096),
-            tlb_miss_penalty: 40,
+            tlb_miss_penalty_cycles: 40,
             power: PowerModel::tegra2_node(),
         }
     }
@@ -80,7 +80,7 @@ impl Platform {
             cores: 2,
             hierarchy: HierarchyConfig::tegra2(), // same class of hierarchy
             tlb: TlbConfig::new(32, 4096),
-            tlb_miss_penalty: 35,
+            tlb_miss_penalty_cycles: 35,
             power: PowerModel::exynos5_node(),
         }
     }
@@ -96,7 +96,7 @@ impl Platform {
             self.core.clone(),
             self.hierarchy.clone(),
             self.tlb,
-            self.tlb_miss_penalty,
+            self.tlb_miss_penalty_cycles,
             sample_rate,
         )
     }

@@ -1,0 +1,64 @@
+//! Bit-exact digests of the figure outputs, shared between the normal
+//! test build (`figure_digests.rs`) and the `validate`-feature build
+//! (`validate_smoke.rs`). Both assert the same pinned constants, so a
+//! green run under `--features validate` *proves* the sanitizer build is
+//! bit-identical to the unvalidated build — the ISSUE's acceptance gate.
+
+use montblanc::{fig3, fig5, fig7, table2};
+
+/// Folds a stream of `f64`s into one order-sensitive 64-bit digest.
+/// Uses `to_bits`, so any change in any bit of any value changes it.
+pub fn digest(values: impl IntoIterator<Item = f64>) -> u64 {
+    values
+        .into_iter()
+        .fold(0u64, |h, v| h.rotate_left(7) ^ v.to_bits())
+}
+
+/// Digest of Figure 3 quick-config output (all three scaling panels).
+pub fn fig3_quick() -> u64 {
+    let r = fig3::run(&fig3::Fig3Config::quick());
+    digest(
+        [&r.linpack, &r.specfem, &r.bigdft]
+            .into_iter()
+            .flat_map(|s| s.points.iter().flat_map(|p| [p.speedup, p.efficiency]))
+            .chain([r.core_gflops]),
+    )
+}
+
+/// Digest of Figure 5 quick-config output (every bandwidth sample).
+pub fn fig5_quick() -> u64 {
+    let r = fig5::run(&fig5::Fig5Config::quick());
+    digest(r.samples.iter().map(|s| s.bandwidth_gbps))
+}
+
+/// Digest of Figure 7 quick-config output (both unroll panels).
+pub fn fig7_quick() -> u64 {
+    let r = fig7::run(&fig7::Fig7Config::quick());
+    digest(
+        [&r.nehalem, &r.tegra2].into_iter().flat_map(|p| {
+            p.points
+                .iter()
+                .flat_map(|pt| [pt.cycles as f64, pt.cache_accesses as f64])
+        }),
+    )
+}
+
+/// Digest of Table II quick-config output (all ratio columns).
+pub fn table2_quick() -> u64 {
+    let r = table2::run_extended(&table2::Table2Config::quick());
+    digest(
+        r.rows
+            .iter()
+            .flat_map(|row| [row.snowball, row.xeon, row.ratio, row.energy_ratio]),
+    )
+}
+
+/// Pinned digests. `figure_digests.rs` guards them in the normal build;
+/// `validate_smoke.rs` re-asserts them with the sanitizer compiled in.
+pub const FIG3_QUICK_DIGEST: u64 = 0xd0d5_f716_d0b3_0356;
+/// See [`FIG3_QUICK_DIGEST`].
+pub const FIG5_QUICK_DIGEST: u64 = 0x206e_118a_c499_7a4c;
+/// See [`FIG3_QUICK_DIGEST`].
+pub const FIG7_QUICK_DIGEST: u64 = 0xa5a1_d292_2006_e451;
+/// See [`FIG3_QUICK_DIGEST`].
+pub const TABLE2_QUICK_DIGEST: u64 = 0xe2a5_d2bf_61fb_fbcf;

@@ -1,0 +1,47 @@
+//! Pins the figure outputs bit for bit in the *normal* build. The
+//! `validate` build re-asserts the same constants (see
+//! `validate_smoke.rs`), so together the two runs prove the runtime
+//! sanitizer never perturbs a result.
+
+#[path = "common/digest.rs"]
+mod digest;
+
+#[test]
+fn fig3_quick_output_is_pinned() {
+    assert_eq!(
+        digest::fig3_quick(),
+        digest::FIG3_QUICK_DIGEST,
+        "Figure 3 quick output changed bit-identity; if intentional, \
+         re-pin FIG3_QUICK_DIGEST in tests/common/digest.rs"
+    );
+}
+
+#[test]
+fn fig5_quick_output_is_pinned() {
+    assert_eq!(
+        digest::fig5_quick(),
+        digest::FIG5_QUICK_DIGEST,
+        "Figure 5 quick output changed bit-identity; if intentional, \
+         re-pin FIG5_QUICK_DIGEST in tests/common/digest.rs"
+    );
+}
+
+#[test]
+fn fig7_quick_output_is_pinned() {
+    assert_eq!(
+        digest::fig7_quick(),
+        digest::FIG7_QUICK_DIGEST,
+        "Figure 7 quick output changed bit-identity; if intentional, \
+         re-pin FIG7_QUICK_DIGEST in tests/common/digest.rs"
+    );
+}
+
+#[test]
+fn table2_quick_output_is_pinned() {
+    assert_eq!(
+        digest::table2_quick(),
+        digest::TABLE2_QUICK_DIGEST,
+        "Table II quick output changed bit-identity; if intentional, \
+         re-pin TABLE2_QUICK_DIGEST in tests/common/digest.rs"
+    );
+}

@@ -60,7 +60,7 @@ pub struct CoreModel {
     /// SIMD single-precision flops per cycle.
     pub f32_simd_flops_per_cycle: f64,
     /// Extra cycles charged per divide/sqrt lane.
-    pub long_latency_penalty: f64,
+    pub long_latency_penalty_cycles: f64,
     /// Simple integer/logic ops per cycle.
     pub int_ops_per_cycle: f64,
     /// L1 accesses that can be issued per cycle.
@@ -69,7 +69,7 @@ pub struct CoreModel {
     /// ceiling; line-fill buffers on real hardware).
     pub max_outstanding_misses: u32,
     /// Cycles lost per mispredicted branch.
-    pub branch_miss_penalty: u64,
+    pub branch_miss_penalty_cycles: u64,
     /// Prediction accuracy on loop-like (predictable) branches.
     pub predictable_accuracy: f64,
     /// Prediction accuracy on data-dependent branches.
@@ -101,11 +101,11 @@ impl CoreModel {
             f64_simd_flops_per_cycle: 4.0,   // 2-wide SSE on both ports
             f32_scalar_flops_per_cycle: 2.0,
             f32_simd_flops_per_cycle: 8.0, // 4-wide SSE
-            long_latency_penalty: 20.0,
+            long_latency_penalty_cycles: 20.0,
             int_ops_per_cycle: 3.0,
             mem_issue_per_cycle: 1.5, // 1 load + 1 store every other cycle
             max_outstanding_misses: 10, // line-fill buffers
-            branch_miss_penalty: 17,
+            branch_miss_penalty_cycles: 17,
             predictable_accuracy: 0.995,
             unpredictable_accuracy: 0.85,
             overlap: Overlap::OutOfOrder,
@@ -128,11 +128,11 @@ impl CoreModel {
             f64_simd_flops_per_cycle: 1.0,   // no DP SIMD: same as scalar
             f32_scalar_flops_per_cycle: 1.0,
             f32_simd_flops_per_cycle: 4.0, // NEON: 2 f32 MACs/cycle
-            long_latency_penalty: 28.0,
+            long_latency_penalty_cycles: 28.0,
             int_ops_per_cycle: 2.0,
             mem_issue_per_cycle: 1.0,
             max_outstanding_misses: 2, // tiny miss queue
-            branch_miss_penalty: 9,
+            branch_miss_penalty_cycles: 9,
             predictable_accuracy: 0.98,
             unpredictable_accuracy: 0.80,
             overlap: Overlap::InOrder {
@@ -171,11 +171,11 @@ impl CoreModel {
             f64_simd_flops_per_cycle: 2.0,
             f32_scalar_flops_per_cycle: 2.0,
             f32_simd_flops_per_cycle: 8.0, // NEONv2 FMA
-            long_latency_penalty: 18.0,
+            long_latency_penalty_cycles: 18.0,
             int_ops_per_cycle: 3.0,
             mem_issue_per_cycle: 1.5,
             max_outstanding_misses: 6,
-            branch_miss_penalty: 15,
+            branch_miss_penalty_cycles: 15,
             predictable_accuracy: 0.99,
             unpredictable_accuracy: 0.85,
             overlap: Overlap::OutOfOrder,

@@ -81,7 +81,7 @@ pub struct ModelExec {
     model: CoreModel,
     hierarchy: Hierarchy,
     tlb: Tlb,
-    tlb_miss_penalty: u64,
+    tlb_miss_penalty_cycles: u64,
     l1_latency: u64,
     /// Per cache level: `(line_bytes / fill_bytes_per_cycle)` — transfer
     /// cycles one line fetched *from* that level occupies.
@@ -116,11 +116,11 @@ impl ModelExec {
         model: CoreModel,
         hierarchy: HierarchyConfig,
         tlb: TlbConfig,
-        tlb_miss_penalty: u64,
+        tlb_miss_penalty_cycles: u64,
         sample_rate: u32,
     ) -> Self {
         assert!(sample_rate > 0, "sample rate must be at least 1");
-        let l1_latency = hierarchy.levels[0].hit_latency;
+        let l1_latency = hierarchy.levels[0].hit_latency_cycles;
         let line = hierarchy.l1_line_bytes() as f64;
         let fill_cost: Vec<f64> = hierarchy
             .levels
@@ -136,7 +136,7 @@ impl ModelExec {
             model,
             hierarchy: Hierarchy::new(hierarchy),
             tlb: Tlb::new(tlb),
-            tlb_miss_penalty,
+            tlb_miss_penalty_cycles,
             l1_latency,
             fill_cost,
             memory_fill_cost,
@@ -262,6 +262,13 @@ impl ModelExec {
     }
 
     fn mem_access(&mut self, addr: u64, bytes: u32, is_store: bool) {
+        // Degenerate accesses corrupt the hierarchy statistics silently;
+        // trap them in `validate` builds (kernels issue 1..=4096 B).
+        #[cfg(feature = "validate")]
+        assert!(
+            (1..=4096).contains(&bytes),
+            "mem_access({addr:#x}): {bytes} B outside 1..=4096"
+        );
         self.access_index += 1;
         if bytes >= 16 {
             self.wide_accesses += 1;
@@ -274,7 +281,7 @@ impl ModelExec {
         self.sampled_accesses += 1;
         if !self.tlb.access(addr) {
             self.sampled_tlb_misses += 1;
-            self.sampled_latency += self.tlb_miss_penalty;
+            self.sampled_latency += self.tlb_miss_penalty_cycles;
         }
         let paddr = self.route(addr);
         let l1_misses_before = self.hierarchy.level_stats(0).misses;
@@ -345,7 +352,7 @@ impl ModelExec {
         let predictable = self.counts.branches - self.counts.unpredictable_branches;
         let expected_misses = predictable as f64 * (1.0 - m.predictable_accuracy)
             + self.counts.unpredictable_branches as f64 * (1.0 - m.unpredictable_accuracy);
-        let branch = expected_misses * m.branch_miss_penalty as f64;
+        let branch = expected_misses * m.branch_miss_penalty_cycles as f64;
 
         // --- combine ---
         let core = match m.overlap {
@@ -420,6 +427,8 @@ impl ModelExec {
 
 impl Exec for ModelExec {
     fn flop(&mut self, kind: FlopKind, prec: Precision, lanes: u32) {
+        #[cfg(feature = "validate")]
+        assert!(lanes >= 1, "flop({kind:?}, {prec:?}) with zero lanes");
         let flops = kind.flops() * lanes as u64;
         match prec {
             Precision::F64 => self.counts.flops_f64 += flops,
@@ -430,7 +439,7 @@ impl Exec for ModelExec {
         self.flop_cycles += flops as f64 / rate;
         if matches!(kind, FlopKind::Div | FlopKind::Sqrt) {
             self.counts.long_latency_flops += lanes as u64;
-            self.flop_cycles += self.model.long_latency_penalty * lanes as f64;
+            self.flop_cycles += self.model.long_latency_penalty_cycles * lanes as f64;
         }
     }
 
@@ -472,7 +481,7 @@ impl Exec for ModelExec {
         self.flop_cycles += n as f64 * (flops as f64 / rate);
         if matches!(kind, FlopKind::Div | FlopKind::Sqrt) {
             self.counts.long_latency_flops += lanes as u64 * n;
-            self.flop_cycles += self.model.long_latency_penalty * (lanes as u64 * n) as f64;
+            self.flop_cycles += self.model.long_latency_penalty_cycles * (lanes as u64 * n) as f64;
         }
     }
 

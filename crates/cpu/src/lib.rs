@@ -60,9 +60,13 @@ pub mod counters;
 pub mod exec_model;
 pub mod gpu;
 pub mod ops;
+#[cfg(feature = "validate")]
+pub mod validate;
 
 pub use arch::{CoreModel, Overlap};
 pub use gpu::GpuModel;
 pub use counters::{Counter, CounterSet};
 pub use exec_model::{ExecReport, ModelExec};
 pub use ops::{CountingExec, Exec, FlopKind, NullExec, OpCounts, Precision};
+#[cfg(feature = "validate")]
+pub use validate::{Region, ValidatingExec};

@@ -16,7 +16,7 @@
 use mb_cpu::ops::Exec;
 use mb_simcore::rng::{Rng, Xoshiro256};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A lattice coordinate.
 pub type Pos = (i32, i32);
@@ -30,8 +30,10 @@ pub struct HpModel {
     sequence: Vec<bool>,
     /// Residue positions, a self-avoiding walk.
     positions: Vec<Pos>,
-    /// Occupancy map: position → residue index.
-    occupied: HashMap<Pos, usize>,
+    /// Occupancy map: position → residue index. Key-ordered so that any
+    /// iteration (Debug, serialisation, future neighbour scans) is
+    /// deterministic regardless of insertion history.
+    occupied: BTreeMap<Pos, usize>,
     /// Metropolis RNG.
     rng: Xoshiro256,
     accepted: u64,
@@ -351,5 +353,43 @@ mod tests {
     #[should_panic(expected = "invalid residue")]
     fn bad_sequence_panics() {
         let _ = HpModel::new("HPX", 0);
+    }
+
+    /// Regression pin for the `HashMap` → `BTreeMap` occupancy swap: the
+    /// exact fold a seeded anneal reaches, including every residue
+    /// position. Debug-formatting of the old map was process-dependent
+    /// (`RandomState`); the fold itself must stay bit-identical across
+    /// toolchains and runs.
+    #[test]
+    fn pinned_fold_seed_2013() {
+        let mut m = HpModel::new(UNGER_MOULT_20, 2013);
+        let best = m.anneal(400, 2.0, 0.99, &mut NullExec);
+        assert_eq!(best, -5);
+        assert_eq!(m.energy(), -5);
+        assert_eq!(
+            m.positions(),
+            &[
+                (7, -1),
+                (6, -1),
+                (6, 0),
+                (6, 1),
+                (7, 1),
+                (7, 0),
+                (8, 0),
+                (8, -1),
+                (9, -1),
+                (9, 0),
+                (10, 0),
+                (10, -1),
+                (11, -1),
+                (11, 0),
+                (12, 0),
+                (12, 1),
+                (13, 1),
+                (13, 0),
+                (13, -1),
+                (12, -1)
+            ]
+        );
     }
 }

@@ -22,7 +22,7 @@ pub struct LevelConfig {
     /// Cache geometry and replacement policy.
     pub cache: CacheConfig,
     /// Latency in core cycles charged when this level hits.
-    pub hit_latency: u64,
+    pub hit_latency_cycles: u64,
     /// Sustained fill bandwidth from this level towards the core, in
     /// bytes per core cycle. Bounds streaming throughput: every line
     /// fetched from this level occupies `line_bytes / fill` cycles of
@@ -36,7 +36,7 @@ pub struct HierarchyConfig {
     /// Levels ordered L1 → last-level cache.
     pub levels: Vec<LevelConfig>,
     /// Latency in core cycles charged on a full miss to DRAM.
-    pub memory_latency: u64,
+    pub memory_latency_cycles: u64,
     /// Sustained DRAM fill bandwidth in bytes per core cycle.
     pub memory_fill_bytes_per_cycle: f64,
 }
@@ -50,21 +50,21 @@ impl HierarchyConfig {
             levels: vec![
                 LevelConfig {
                     cache: CacheConfig::new(32 * 1024, 64, 8, Replacement::Lru),
-                    hit_latency: 4,
+                    hit_latency_cycles: 4,
                     fill_bytes_per_cycle: 32.0,
                 },
                 LevelConfig {
                     cache: CacheConfig::new(256 * 1024, 64, 8, Replacement::Lru),
-                    hit_latency: 10,
+                    hit_latency_cycles: 10,
                     fill_bytes_per_cycle: 16.0,
                 },
                 LevelConfig {
                     cache: CacheConfig::new(8 * 1024 * 1024, 64, 16, Replacement::Lru),
-                    hit_latency: 38,
+                    hit_latency_cycles: 38,
                     fill_bytes_per_cycle: 8.0,
                 },
             ],
-            memory_latency: 180,
+            memory_latency_cycles: 180,
             memory_fill_bytes_per_cycle: 4.0,
         }
     }
@@ -77,17 +77,17 @@ impl HierarchyConfig {
             levels: vec![
                 LevelConfig {
                     cache: CacheConfig::new(32 * 1024, 32, 4, Replacement::Lru),
-                    hit_latency: 4,
+                    hit_latency_cycles: 4,
                     fill_bytes_per_cycle: 8.0,
                 },
                 LevelConfig {
                     cache: CacheConfig::new(512 * 1024, 32, 8, Replacement::Lru),
-                    hit_latency: 25,
+                    hit_latency_cycles: 25,
                     // PL310 L2: 64-bit port at core clock.
                     fill_bytes_per_cycle: 8.0,
                 },
             ],
-            memory_latency: 160,
+            memory_latency_cycles: 160,
             // LP-DDR2-800 dual die: ~2 GB/s sustained at 1 GHz.
             memory_fill_bytes_per_cycle: 2.0,
         }
@@ -100,16 +100,16 @@ impl HierarchyConfig {
             levels: vec![
                 LevelConfig {
                     cache: CacheConfig::new(32 * 1024, 32, 4, Replacement::Lru),
-                    hit_latency: 4,
+                    hit_latency_cycles: 4,
                     fill_bytes_per_cycle: 8.0,
                 },
                 LevelConfig {
                     cache: CacheConfig::new(1024 * 1024, 32, 8, Replacement::Lru),
-                    hit_latency: 26,
+                    hit_latency_cycles: 26,
                     fill_bytes_per_cycle: 8.0,
                 },
             ],
-            memory_latency: 170,
+            memory_latency_cycles: 170,
             memory_fill_bytes_per_cycle: 2.0,
         }
     }
@@ -150,7 +150,7 @@ pub enum HitLevel {
 #[derive(Debug, Clone)]
 pub struct Hierarchy {
     levels: Vec<(Cache, u64)>,
-    memory_latency: u64,
+    memory_latency_cycles: u64,
     memory_accesses: u64,
     total_cycles: u64,
     accesses: u64,
@@ -168,9 +168,9 @@ impl Hierarchy {
             levels: cfg
                 .levels
                 .iter()
-                .map(|l| (Cache::new(l.cache), l.hit_latency))
+                .map(|l| (Cache::new(l.cache), l.hit_latency_cycles))
                 .collect(),
-            memory_latency: cfg.memory_latency,
+            memory_latency_cycles: cfg.memory_latency_cycles,
             memory_accesses: 0,
             total_cycles: 0,
             accesses: 0,
@@ -190,8 +190,8 @@ impl Hierarchy {
             }
         }
         self.memory_accesses += 1;
-        self.total_cycles += self.memory_latency;
-        (HitLevel::Memory, self.memory_latency)
+        self.total_cycles += self.memory_latency_cycles;
+        (HitLevel::Memory, self.memory_latency_cycles)
     }
 
     /// Statistics of cache level `i` (0 = L1).

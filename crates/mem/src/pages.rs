@@ -22,7 +22,7 @@
 
 use mb_simcore::rng::{Rng, Xoshiro256};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Physical frame allocation policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -124,7 +124,9 @@ pub struct PageAllocator {
     total_frames: u64,
     next_frame: u64,
     rng: Xoshiro256,
-    reuse_cache: HashMap<usize, Vec<u64>>,
+    // Key-ordered map: the reuse cache is only probed by size today, but
+    // a BTreeMap keeps Debug output and any future iteration deterministic.
+    reuse_cache: BTreeMap<usize, Vec<u64>>,
 }
 
 impl PageAllocator {
@@ -144,7 +146,7 @@ impl PageAllocator {
             total_frames,
             next_frame: 0,
             rng: Xoshiro256::seed_from(seed),
-            reuse_cache: HashMap::new(),
+            reuse_cache: BTreeMap::new(),
         }
     }
 
@@ -199,7 +201,7 @@ impl PageAllocator {
         // Distinct frames via rejection; frame space is much larger than
         // any allocation so this terminates quickly.
         let mut out = Vec::with_capacity(pages);
-        let mut used = std::collections::HashSet::new();
+        let mut used = BTreeSet::new();
         while out.len() < pages {
             let f = self.rng.gen_range(self.total_frames);
             if used.insert(f) {
@@ -307,5 +309,22 @@ mod tests {
     fn over_allocation_panics() {
         let mut a = PageAllocator::new(PagePolicy::Contiguous, 4096, 4, 0);
         let _ = a.allocate(5 * 4096);
+    }
+
+    /// Regression pin for the `HashMap` → `BTreeMap` reuse-cache swap:
+    /// with `RandomState` the Debug rendering of the cache listed sizes
+    /// in a per-process order; it must now always be key-sorted.
+    #[test]
+    fn reuse_cache_debug_is_key_ordered() {
+        let mut a = PageAllocator::new(PagePolicy::ReuseLast, 4096, 1 << 16, 42);
+        // Populate in deliberately non-sorted key order.
+        a.allocate(3 * 4096);
+        a.allocate(4096);
+        a.allocate(2 * 4096);
+        let dbg = format!("{a:?}");
+        let p1 = dbg.find("1: [").expect("size-1 entry rendered");
+        let p2 = dbg.find("2: [").expect("size-2 entry rendered");
+        let p3 = dbg.find("3: [").expect("size-3 entry rendered");
+        assert!(p1 < p2 && p2 < p3, "cache must render key-sorted: {dbg}");
     }
 }

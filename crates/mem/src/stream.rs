@@ -81,16 +81,16 @@ impl StreamReport {
 pub struct StreamEngine {
     hierarchy: Hierarchy,
     tlb: Tlb,
-    tlb_miss_penalty: u64,
+    tlb_miss_penalty_cycles: u64,
 }
 
 impl StreamEngine {
     /// Creates an engine from its components.
-    pub fn new(hierarchy: Hierarchy, tlb: Tlb, tlb_miss_penalty: u64) -> Self {
+    pub fn new(hierarchy: Hierarchy, tlb: Tlb, tlb_miss_penalty_cycles: u64) -> Self {
         StreamEngine {
             hierarchy,
             tlb,
-            tlb_miss_penalty,
+            tlb_miss_penalty_cycles,
         }
     }
 
@@ -99,7 +99,7 @@ impl StreamEngine {
     pub fn access(&mut self, table: &PageTable, offset: u64, _kind: AccessKind) -> u64 {
         let mut cycles = 0;
         if !self.tlb.access(offset) {
-            cycles += self.tlb_miss_penalty;
+            cycles += self.tlb_miss_penalty_cycles;
         }
         let paddr = table.translate(offset);
         let (_lvl, lat) = self.hierarchy.access(paddr);

@@ -17,7 +17,7 @@ use crate::graph::{LinkId, Network, NodeId};
 use mb_simcore::rng::{Rng, Xoshiro256};
 use mb_simcore::time::SimTime;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Ethernet MTU used for cut-through pipelining.
 const MTU_BYTES: u64 = 1500;
@@ -118,8 +118,10 @@ struct BufferState {
 #[derive(Debug, Clone)]
 pub struct Fabric {
     network: Network,
-    link_free: HashMap<LinkId, SimTime>,
-    buffers: HashMap<NodeId, BufferState>,
+    // BTreeMap so that Clone/Debug and any future whole-map folds are
+    // key-ordered — occupancy state must never depend on hash order.
+    link_free: BTreeMap<LinkId, SimTime>,
+    buffers: BTreeMap<NodeId, BufferState>,
     switch_model: Option<SwitchModel>,
     stats: FabricStats,
     rng: Xoshiro256,
@@ -133,8 +135,8 @@ impl Fabric {
         let seed = 0xFAB41C;
         Fabric {
             network,
-            link_free: HashMap::new(),
-            buffers: HashMap::new(),
+            link_free: BTreeMap::new(),
+            buffers: BTreeMap::new(),
             switch_model,
             stats: FabricStats::default(),
             rng: Xoshiro256::seed_from(seed),

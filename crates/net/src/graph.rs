@@ -2,7 +2,7 @@
 
 use mb_simcore::time::SimTime;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Identifier of a network node (host or switch).
 #[derive(
@@ -100,7 +100,9 @@ pub struct Network {
     adjacency: Vec<Vec<(NodeId, LinkId)>>,
     hosts: Vec<NodeId>,
     switches: Vec<NodeId>,
-    route_cache: HashMap<(NodeId, NodeId), Vec<LinkId>>,
+    // Deterministic by construction: BTreeMap iteration (Clone, Debug,
+    // future folds) follows key order, never insertion or hash order.
+    route_cache: BTreeMap<(NodeId, NodeId), Vec<LinkId>>,
 }
 
 impl Network {

@@ -22,8 +22,8 @@
 //! // window is contiguous, exactly as the sequence plot shows.
 //! let model = RtAnomalyModel::new(2100, 0.25, 5.0, 42);
 //! let degraded: Vec<bool> = (0..2100).map(|i| model.is_degraded(i)).collect();
-//! let first = degraded.iter().position(|&d| d).unwrap();
-//! let last = degraded.iter().rposition(|&d| d).unwrap();
+//! let first = degraded.iter().position(|&d| d).expect("window is non-empty");
+//! let last = degraded.iter().rposition(|&d| d).expect("window is non-empty");
 //! assert!(degraded[first..=last].iter().all(|&d| d), "contiguous");
 //! ```
 

@@ -116,8 +116,14 @@ mod tests {
             let flags: Vec<bool> = (0..2100).map(|i| m.is_degraded(i)).collect();
             let count = flags.iter().filter(|&&d| d).count();
             assert_eq!(count, 630);
-            let first = flags.iter().position(|&d| d).unwrap();
-            let last = flags.iter().rposition(|&d| d).unwrap();
+            let first = flags
+                .iter()
+                .position(|&d| d)
+                .expect("window covers 30% of the sequence, so a degraded sample exists");
+            let last = flags
+                .iter()
+                .rposition(|&d| d)
+                .expect("window covers 30% of the sequence, so a degraded sample exists");
             assert_eq!(last - first + 1, count, "window must be contiguous");
         }
     }

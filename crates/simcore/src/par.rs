@@ -53,6 +53,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 thread_local! {
     static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+    static CHAOS_OVERRIDE: Cell<Option<u64>> = const { Cell::new(None) };
 }
 
 /// Restores the previous thread override even if the closure panics.
@@ -63,6 +64,17 @@ struct OverrideGuard {
 impl Drop for OverrideGuard {
     fn drop(&mut self) {
         THREAD_OVERRIDE.with(|c| c.set(self.prev));
+    }
+}
+
+/// Restores the previous chaos override even if the closure panics.
+struct ChaosGuard {
+    prev: Option<u64>,
+}
+
+impl Drop for ChaosGuard {
+    fn drop(&mut self) {
+        CHAOS_OVERRIDE.with(|c| c.set(self.prev));
     }
 }
 
@@ -94,6 +106,55 @@ pub fn thread_count() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Runs `f` with every [`sweep`] on this thread injecting seeded
+/// scheduling perturbations: each worker yields its timeslice a
+/// pseudo-random number of times before every task claim, so claim
+/// order and interleaving differ run to run *by design*. Results must
+/// not — [`assert_schedule_independent`] is the consumer.
+pub fn with_chaos<R>(seed: u64, f: impl FnOnce() -> R) -> R {
+    let prev = CHAOS_OVERRIDE.with(|c| c.replace(Some(seed)));
+    let _guard = ChaosGuard { prev };
+    f()
+}
+
+/// The in-scope chaos seed, if any (see [`with_chaos`]).
+pub fn chaos_seed() -> Option<u64> {
+    CHAOS_OVERRIDE.with(|c| c.get())
+}
+
+/// The schedule-perturbation harness — the workspace's stand-in for a
+/// race detector. Runs `f` once serially as the oracle, then `rounds`
+/// more times under seeded worker-count and claim-order perturbations,
+/// asserting every run is bit-identical to the oracle.
+///
+/// Any dependence on scheduling — a shared accumulator folded in claim
+/// order, an RNG drawn from worker state, a `thread_count()` leak into
+/// results — shows up as an assertion failure naming the offending
+/// round.
+///
+/// # Panics
+///
+/// Panics when a perturbed run differs from the serial oracle (or when
+/// `f` itself panics).
+pub fn assert_schedule_independent<R, F>(seed: u64, rounds: u32, f: F)
+where
+    R: PartialEq + std::fmt::Debug,
+    F: Fn() -> R,
+{
+    let oracle = with_threads(1, &f);
+    let mut stream = SplitMix64::new(seed);
+    for round in 0..rounds {
+        let workers = 2 + (stream.next_u64() % 7) as usize;
+        let chaos = stream.next_u64();
+        let got = with_chaos(chaos, || with_threads(workers, &f));
+        assert_eq!(
+            got, oracle,
+            "schedule dependence: round {round} ({workers} workers, \
+             chaos {chaos:#018x}) diverged from the serial oracle"
+        );
+    }
 }
 
 /// Per-task context handed to the sweep closure.
@@ -174,9 +235,24 @@ where
     let aborted = AtomicBool::new(false);
     let failure: Mutex<Option<(String, String)>> = Mutex::new(None);
 
+    // Captured before spawning: the override lives in the caller's
+    // thread-locals, which workers cannot see.
+    let chaos = chaos_seed();
+
     crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
+        for worker in 0..workers {
+            let mut chaos_rng = chaos
+                .map(|c| SplitMix64::new(c ^ (worker as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+            let (slots, results, seeds) = (&slots, &results, &seeds);
+            let (next, aborted, failure, f) = (&next, &aborted, &failure, &f);
+            scope.spawn(move || loop {
+                if let Some(rng) = chaos_rng.as_mut() {
+                    // Seeded jitter: surrender the timeslice 0–3 times so
+                    // claim order varies between chaos seeds.
+                    for _ in 0..rng.next_u64() % 4 {
+                        std::thread::yield_now();
+                    }
+                }
                 if aborted.load(Ordering::Acquire) {
                     break;
                 }
@@ -262,6 +338,56 @@ mod tests {
             with_threads(1, || assert_eq!(thread_count(), 1));
             assert_eq!(thread_count(), 3);
         });
+    }
+
+    #[test]
+    fn chaos_does_not_change_results() {
+        let work = |ctx: TaskCtx, x: u64| {
+            let mut rng = SplitMix64::new(ctx.seed);
+            rng.next_u64().wrapping_add(x)
+        };
+        let plain = with_threads(4, || sweep(9, (0..64).collect(), work));
+        for chaos in [0u64, 1, 0xDEAD_BEEF] {
+            let perturbed =
+                with_chaos(chaos, || with_threads(4, || sweep(9, (0..64).collect(), work)));
+            assert_eq!(perturbed, plain);
+        }
+    }
+
+    #[test]
+    fn chaos_override_restores_on_exit() {
+        assert_eq!(chaos_seed(), None);
+        with_chaos(7, || {
+            assert_eq!(chaos_seed(), Some(7));
+            with_chaos(8, || assert_eq!(chaos_seed(), Some(8)));
+            assert_eq!(chaos_seed(), Some(7));
+        });
+        assert_eq!(chaos_seed(), None);
+    }
+
+    #[test]
+    fn harness_accepts_a_deterministic_sweep() {
+        assert_schedule_independent(0xC0FFEE, 3, || {
+            sweep(5, (0..48u64).collect(), |ctx, x| {
+                let mut rng = SplitMix64::new(ctx.seed);
+                (0..x % 9).map(|_| rng.next_u64() >> 32).sum::<u64>()
+            })
+        });
+    }
+
+    #[test]
+    fn harness_catches_schedule_dependence() {
+        // A result that leaks the worker count is the canonical
+        // determinism bug; the harness must flag it.
+        let caught = std::panic::catch_unwind(|| {
+            assert_schedule_independent(1, 2, thread_count)
+        });
+        let payload = caught.expect_err("harness must flag thread_count leak");
+        assert!(
+            panic_text(payload.as_ref()).contains("schedule dependence"),
+            "wrong panic: {}",
+            panic_text(payload.as_ref())
+        );
     }
 
     #[test]

@@ -36,10 +36,12 @@ pub mod analysis;
 pub mod reader;
 pub mod record;
 pub mod trace;
+pub mod validate;
 pub mod writer;
 
 pub use analysis::{CollectiveReport, DelayAnalysis};
 pub use record::{CollectiveKind, CommRecord, EventRecord, StateKind, StateRecord};
 pub use reader::parse_prv;
 pub use trace::Trace;
+pub use validate::{trace_violations, validate_trace};
 pub use writer::{write_prv, write_prv_to};

@@ -12,4 +12,10 @@ cargo test --workspace --quiet
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> mb-check (determinism lints)"
+cargo run --release -p mb-check
+
+echo "==> validate-feature smoke (runtime invariant sanitizer)"
+cargo test --release -p montblanc --features validate --test validate_smoke --quiet
+
 echo "CI green."
