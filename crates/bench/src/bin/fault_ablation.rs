@@ -1,0 +1,120 @@
+//! Fault ablation — Figure 3 strong scaling re-run under increasing
+//! fault rates.
+//!
+//! Sweeps the `mb-faults` rate knob from a healthy cluster to several
+//! times the "bad week" preset and reports how the mean parallel
+//! efficiency of the three applications degrades, together with the
+//! resilience counters (retries, timeouts, skipped messages, crashed
+//! ranks) that explain *why*. Every row is a deterministic replay: the
+//! same rate always yields the same plan, the same retries and the same
+//! efficiencies.
+//!
+//! Usage: `cargo run --release -p mb-bench --bin fault_ablation [--quick] [--csv]`
+
+use mb_bench::{header, quick_mode};
+use mb_faults::FaultConfig;
+use montblanc::fig3::{run_faulted, Fig3Config, Fig3FaultReport};
+use montblanc::report::{ascii_plot, TextTable};
+
+/// One row of the ablation: the fault-rate multiplier and what Figure 3
+/// looked like under it.
+struct Row {
+    rate: f64,
+    report: Fig3FaultReport,
+}
+
+fn completed_points(r: &Fig3FaultReport) -> usize {
+    [&r.linpack, &r.specfem, &r.bigdft]
+        .into_iter()
+        .map(|s| s.points.len())
+        .sum()
+}
+
+fn failed_points(r: &Fig3FaultReport) -> usize {
+    [&r.linpack, &r.specfem, &r.bigdft]
+        .into_iter()
+        .map(|s| s.failed.len())
+        .sum()
+}
+
+fn main() {
+    let (cfg, rates): (Fig3Config, &[f64]) = if quick_mode() {
+        (Fig3Config::quick(), &[0.0, 0.5, 1.0])
+    } else {
+        (Fig3Config::paper(), &[0.0, 0.25, 0.5, 1.0, 2.0, 4.0])
+    };
+    header("Fault ablation: Figure 3 scaling under increasing fault rates");
+    println!(
+        "Rate 1.0 = the 'light' preset (a flaky commodity cluster); every row\n\
+         is a deterministic replay of a seeded fault plan.\n"
+    );
+
+    let rows: Vec<Row> = rates
+        .iter()
+        .map(|&rate| Row {
+            rate,
+            report: run_faulted(&cfg, FaultConfig::scaled(rate)),
+        })
+        .collect();
+
+    let mut t = TextTable::new(vec![
+        "fault rate".into(),
+        "mean efficiency".into(),
+        "retries".into(),
+        "timeouts".into(),
+        "skipped".into(),
+        "crashed ranks".into(),
+        "points (ok/failed)".into(),
+    ]);
+    for row in &rows {
+        let s = row.report.total_stats();
+        t.row(vec![
+            format!("{:.2}", row.rate),
+            format!("{:.1}%", 100.0 * row.report.mean_efficiency()),
+            s.retries.to_string(),
+            s.timeouts.to_string(),
+            s.skipped_messages.to_string(),
+            s.crashed_ranks.to_string(),
+            format!(
+                "{}/{}",
+                completed_points(&row.report),
+                failed_points(&row.report)
+            ),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let pts: Vec<(f64, f64)> = rows
+        .iter()
+        .map(|r| (r.rate, 100.0 * r.report.mean_efficiency()))
+        .collect();
+    println!(
+        "{}",
+        ascii_plot(&pts, 60, 12, "mean parallel efficiency (%) vs fault rate")
+    );
+
+    if let Some(path) = mb_bench::csv_path("fault_ablation") {
+        let mut csv =
+            String::from("rate,mean_efficiency,retries,timeouts,skipped,crashed_ranks\n");
+        for row in &rows {
+            let s = row.report.total_stats();
+            csv.push_str(&format!(
+                "{},{},{},{},{},{}\n",
+                row.rate,
+                row.report.mean_efficiency(),
+                s.retries,
+                s.timeouts,
+                s.skipped_messages,
+                s.crashed_ranks
+            ));
+        }
+        if std::fs::write(&path, csv).is_ok() {
+            println!("CSV written to {}", path.display());
+        }
+    }
+
+    println!("Every run completes: crashed ranks drop out and collectives shrink to");
+    println!("the survivors; dropped packets retransmit with bounded backoff. The");
+    println!("efficiency lost between rate 0 and the right edge is the price of");
+    println!("resilience on a degrading fabric, not lost experiments.");
+}

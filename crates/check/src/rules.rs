@@ -32,16 +32,22 @@ pub enum RuleId {
     /// Public numeric quantity (latency, energy, …) without a unit
     /// suffix (`_cycles`, `_joules`, `_ns`, …) at a model boundary.
     UnitSuffix,
+    /// `catch_unwind` or a discarded fallible result (`let _ =` on a
+    /// `try_`/`checked_`/`parse` call) outside `mb_simcore::par` —
+    /// panic containment is the sweep engine's job, and errors must be
+    /// handled or propagated, never swallowed.
+    SilentCatch,
 }
 
 /// Every rule, in reporting order.
-pub const ALL_RULES: [RuleId; 6] = [
+pub const ALL_RULES: [RuleId; 7] = [
     RuleId::HashmapIterOrder,
     RuleId::WallClockInModel,
     RuleId::UnseededRng,
     RuleId::RogueThreads,
     RuleId::UnwrapInLib,
     RuleId::UnitSuffix,
+    RuleId::SilentCatch,
 ];
 
 impl RuleId {
@@ -54,6 +60,7 @@ impl RuleId {
             RuleId::RogueThreads => "rogue-threads",
             RuleId::UnwrapInLib => "unwrap-in-lib",
             RuleId::UnitSuffix => "unit-suffix",
+            RuleId::SilentCatch => "silent-catch",
         }
     }
 
@@ -75,6 +82,9 @@ impl RuleId {
             }
             RuleId::UnitSuffix => {
                 "public numeric quantities carry unit suffixes (_cycles, _joules, _ns, ...)"
+            }
+            RuleId::SilentCatch => {
+                "no catch_unwind or discarded fallible results outside mb_simcore::par"
             }
         }
     }
@@ -247,6 +257,19 @@ fn fire(rule: RuleId, ctx: &FileContext, code: &str) -> Option<String> {
             }
             unit_suffix_violation(code)
         }
+        RuleId::SilentCatch => {
+            if ctx.rel.ends_with("crates/simcore/src/par.rs") {
+                return None;
+            }
+            if has_token(code, "catch_unwind") {
+                return Some(
+                    "catch_unwind outside mb_simcore::par: panic containment is the \
+                     sweep engine's job; propagate an MbError instead"
+                        .to_string(),
+                );
+            }
+            silent_discard_violation(code)
+        }
     }
 }
 
@@ -271,6 +294,26 @@ fn has_token(code: &str, token: &str) -> bool {
 
 fn is_ident_byte(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Call shapes that return a `Result`/`Option` worth keeping. The
+/// discard check only fires when one of these appears on the right of a
+/// `let _ =`, so plain value discards (`let _ = hop;`) stay legal.
+const FALLIBLE_HINTS: [&str; 5] = ["try_", "checked_", ".parse(", ".parse::<", "from_str"];
+
+/// Detects `let _ = <something fallible>(...)` — a `Result` silently
+/// thrown away.
+fn silent_discard_violation(code: &str) -> Option<String> {
+    let at = code.find("let _ =")?;
+    let rhs = &code[at + "let _ =".len()..];
+    if !rhs.contains('(') {
+        return None;
+    }
+    let hint = FALLIBLE_HINTS.iter().find(|h| rhs.contains(*h))?;
+    Some(format!(
+        "`let _ =` discards the result of a fallible call (`{hint}`): \
+         handle the error or propagate it as an MbError"
+    ))
 }
 
 /// Detects `pub <name>: <numeric>` declarations whose name talks about a
@@ -422,6 +465,32 @@ mod tests {
         // But not a different rule.
         let src2 = "let x = foo.unwrap(); // mb-check: allow(hashmap-iter-order)\n";
         assert_eq!(check_snippet("crates/os/src/lib.rs", src2).len(), 1);
+    }
+
+    #[test]
+    fn silent_catch_fires_on_catch_unwind_outside_par() {
+        let src = "let r = std::panic::catch_unwind(|| job());\n";
+        let f = check_snippet("crates/net/src/fabric.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "silent-catch");
+        assert!(check_snippet("crates/simcore/src/par.rs", src).is_empty());
+    }
+
+    #[test]
+    fn silent_catch_fires_on_discarded_fallible_call() {
+        let src = "let _ = u32::try_from(big);\n";
+        let f = check_snippet("crates/mem/src/cache.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "silent-catch");
+        let src2 = "let _ = s.parse::<u64>();\n";
+        assert_eq!(check_snippet("crates/mem/src/cache.rs", src2).len(), 1);
+    }
+
+    #[test]
+    fn silent_catch_allows_plain_discards() {
+        // Value discards without a fallible call are idiomatic.
+        let src = "let _ = hop;\nlet _ = (a, b);\nlet _ = m.get(&0);\n";
+        assert!(check_snippet("crates/net/src/fabric.rs", src).is_empty());
     }
 
     #[test]

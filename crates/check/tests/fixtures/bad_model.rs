@@ -15,7 +15,9 @@ fn dirty() {
     let v = m.get(&0).unwrap();
     // The sanctioned escape hatch:
     let w = m.get(&1).unwrap(); // mb-check: allow(unwrap-in-lib)
-    let _ = (rng, t0, v, w);
+    let caught = std::panic::catch_unwind(|| v + 1);
+    let _ = u32::try_from(3u64);
+    let _ = (rng, t0, v, w, caught);
 }
 
 #[cfg(test)]

@@ -13,6 +13,8 @@ fn tidy(seed: u64) {
     let m: BTreeMap<u32, u32> = BTreeMap::new();
     let v = m.get(&0).copied().unwrap_or(0);
     let w = m.get(&1).expect("entry 1 is inserted above");
+    let narrowed = u32::try_from(u64::from(v)).expect("fits in u32");
     let label = "a HashMap and an Instant in a string are fine";
-    let _ = (rng, v, w, label);
+    // Plain value discards are not silent catches.
+    let _ = (rng, v, w, narrowed, label);
 }

@@ -12,7 +12,11 @@
 //! * [`scaling`] — the strong-scaling runner: executes a workload
 //!   skeleton at each core count on a chosen fabric and reports time,
 //!   speedup and parallel efficiency (Figure 3), optionally tracing for
-//!   the Figure 4 analysis.
+//!   the Figure 4 analysis. With
+//!   [`scaling::ScalingStudy::with_faults`] each point replays a
+//!   deterministic `mb-faults` plan and
+//!   [`scaling::ScalingStudy::run_resilient`] reports
+//!   degraded-but-completed results instead of dying.
 //!
 //! # Examples
 //!
@@ -33,5 +37,8 @@
 pub mod scaling;
 pub mod workload;
 
-pub use scaling::{FabricKind, ScalingPoint, ScalingSeries, ScalingStudy};
+pub use scaling::{
+    FabricKind, ResilientPoint, ResilientSeries, ScalingOutcome, ScalingPoint, ScalingSeries,
+    ScalingStudy,
+};
 pub use workload::{CommPattern, Phase, Workload};

@@ -1,13 +1,19 @@
 //! The strong-scaling runner (Figure 3) and traced runs (Figure 4).
 
 use crate::workload::{CommPattern, Workload};
+use mb_faults::{FaultConfig, FaultPlan};
 use mb_mpi::comm::{Comm, CommConfig};
+use mb_mpi::resilience::{ResilienceStats, RetryPolicy};
 use mb_net::builders::{tibidabo_fabric, tibidabo_fabric_bonded, tibidabo_fabric_upgraded};
 use mb_net::fabric::Fabric;
 use mb_simcore::rng::{Rng, Xoshiro256};
 use mb_simcore::time::SimTime;
 use mb_trace::trace::Trace;
 use serde::{Deserialize, Serialize};
+
+/// Salt mixed into the study seed when deriving per-point fault-plan
+/// seeds, so fault draws never correlate with fabric or jitter streams.
+const FAULT_SEED_SALT: u64 = 0xFA17_5EED_0000_0001;
 
 /// Which fabric to run on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -64,6 +70,64 @@ impl ScalingSeries {
     }
 }
 
+/// Everything one [`ScalingStudy::execute_outcome`] run produced:
+/// makespan, trace, and how degraded the run was.
+#[derive(Debug)]
+pub struct ScalingOutcome {
+    /// Simulated wall-clock of the whole run.
+    pub time: SimTime,
+    /// Execution trace (empty unless tracing was requested).
+    pub trace: Trace,
+    /// Retry/timeout/crash counters (all zero on a healthy run).
+    pub stats: ResilienceStats,
+    /// Ranks still alive at the end of the run.
+    pub surviving_ranks: u32,
+}
+
+/// One point of a fault-injected scaling study: the usual scaling
+/// numbers plus the degradation record.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResilientPoint {
+    /// The scaling measurement (time, speedup, efficiency).
+    pub point: ScalingPoint,
+    /// Retry/timeout/crash counters for this point.
+    pub stats: ResilienceStats,
+    /// Ranks still alive at the end of the run.
+    pub surviving_ranks: u32,
+}
+
+/// A degraded-but-completed scaling series: points that finished (with
+/// their resilience counters) plus any points whose task died outright.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResilientSeries {
+    /// Workload name.
+    pub name: String,
+    /// Core count the speedups are normalised to — the smallest core
+    /// count whose point completed.
+    pub baseline_cores: u32,
+    /// Completed points, in core-count order.
+    pub points: Vec<ResilientPoint>,
+    /// Points whose sweep task failed: `(cores, error message)`.
+    pub failed: Vec<(u32, String)>,
+}
+
+impl ResilientSeries {
+    /// The completed point measured at `cores`, if any.
+    pub fn at(&self, cores: u32) -> Option<&ResilientPoint> {
+        self.points.iter().find(|p| p.point.cores == cores)
+    }
+
+    /// Total retries across all completed points.
+    pub fn total_retries(&self) -> u64 {
+        self.points.iter().map(|p| p.stats.retries).sum()
+    }
+
+    /// Total crashed ranks across all completed points.
+    pub fn total_crashes(&self) -> u32 {
+        self.points.iter().map(|p| p.stats.crashed_ranks).sum()
+    }
+}
+
 /// Runs strong-scaling studies on a simulated cluster.
 ///
 /// Per-rank compute times carry a small seeded imbalance (±1.5 %), as on
@@ -74,6 +138,7 @@ pub struct ScalingStudy {
     fabric: FabricKind,
     seed: u64,
     imbalance: f64,
+    faults: Option<FaultConfig>,
 }
 
 impl ScalingStudy {
@@ -83,6 +148,7 @@ impl ScalingStudy {
             fabric,
             seed: 0x5CA1E,
             imbalance: 0.015,
+            faults: None,
         }
     }
 
@@ -92,6 +158,27 @@ impl ScalingStudy {
         self
     }
 
+    /// Injects faults, builder-style: every point draws a deterministic
+    /// [`FaultPlan`] from the study seed and its core count, and runs on
+    /// a resilient communicator ([`Comm::resilient`]). A zero-rate
+    /// config installs nothing — the study stays bit-identical to a
+    /// fault-free one.
+    pub fn with_faults(mut self, config: FaultConfig) -> Self {
+        self.faults = if config.is_zero() { None } else { Some(config) };
+        self
+    }
+
+    /// The fault plan a run at `ranks` cores would replay, if faults are
+    /// configured. Deterministic: same study, same plan.
+    pub fn fault_plan(&self, ranks: u32) -> Option<FaultPlan> {
+        self.faults.map(|cfg| {
+            let nodes = ranks.div_ceil(2) as usize;
+            let fabric = self.fabric.build(nodes, self.seed ^ u64::from(ranks));
+            let topo = fabric.network().fault_topology(ranks);
+            FaultPlan::generate(self.seed ^ FAULT_SEED_SALT ^ u64::from(ranks), &cfg, &topo)
+        })
+    }
+
     /// Executes `workload` on `ranks` cores; returns the simulated time
     /// and, if `traced`, the execution trace.
     ///
@@ -99,6 +186,19 @@ impl ScalingStudy {
     ///
     /// Panics if `ranks < workload.min_ranks`.
     pub fn execute(&self, workload: &Workload, ranks: u32, traced: bool) -> (SimTime, Trace) {
+        let out = self.execute_outcome(workload, ranks, traced);
+        (out.time, out.trace)
+    }
+
+    /// Like [`Self::execute`] but also reports how degraded the run was.
+    /// With faults configured the run completes on the survivors instead
+    /// of dying: crashed ranks drop out, collectives shrink, dropped
+    /// messages retry with backoff.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ranks < workload.min_ranks`.
+    pub fn execute_outcome(&self, workload: &Workload, ranks: u32, traced: bool) -> ScalingOutcome {
         assert!(
             ranks >= workload.min_ranks,
             "{} needs at least {} ranks",
@@ -109,7 +209,13 @@ impl ScalingStudy {
         let fabric = self.fabric.build(nodes, self.seed ^ u64::from(ranks));
         let mut cfg = CommConfig::tibidabo(ranks);
         cfg.tracing = traced;
-        let mut comm = Comm::new(fabric, cfg);
+        let mut comm = match self.fault_plan(ranks) {
+            None => Comm::new(fabric, cfg),
+            Some(plan) => match Comm::resilient(fabric, cfg, plan, RetryPolicy::tibidabo()) {
+                Ok(comm) => comm,
+                Err(e) => panic!("{e}"),
+            },
+        };
         let mut rng = Xoshiro256::seed_from(self.seed ^ 0xB0B ^ u64::from(ranks));
         let rate = workload.core_gflops * 1e9;
         for iter in 0..workload.iterations {
@@ -145,8 +251,15 @@ impl ScalingStudy {
                 }
             }
         }
-        let t = comm.max_clock();
-        (t, comm.into_trace())
+        let time = comm.max_clock();
+        let stats = comm.resilience_stats();
+        let surviving_ranks = comm.surviving_ranks();
+        ScalingOutcome {
+            time,
+            trace: comm.into_trace(),
+            stats,
+            surviving_ranks,
+        }
     }
 
     /// Runs the workload at each core count and builds the Figure 3
@@ -197,6 +310,75 @@ impl ScalingStudy {
             name: workload.name.clone(),
             baseline_cores,
             points,
+        }
+    }
+
+    /// Crash-tolerant variant of [`Self::run`]: each point runs inside
+    /// `mb_simcore::par::sweep_contained`, so a point that dies outright
+    /// (rather than merely degrading) is reported in
+    /// [`ResilientSeries::failed`] instead of aborting the whole series.
+    /// Speedups are normalised to the smallest core count that
+    /// completed. Deterministic at any worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core_counts` is empty or unsorted.
+    pub fn run_resilient(&self, workload: &Workload, core_counts: &[u32]) -> ResilientSeries {
+        assert!(!core_counts.is_empty(), "need at least one core count");
+        assert!(
+            core_counts.windows(2).all(|w| w[0] < w[1]),
+            "core counts must be strictly increasing"
+        );
+        let tasks = core_counts
+            .iter()
+            .map(|&cores| (format!("{}@{}c", workload.name, cores), cores))
+            .collect();
+        let slots = mb_simcore::par::sweep_contained(self.seed, tasks, |_, cores| {
+            let out = self.execute_outcome(workload, cores, false);
+            (out.time, out.stats, out.surviving_ranks)
+        });
+        let mut completed = Vec::new();
+        let mut failed = Vec::new();
+        for (&cores, slot) in core_counts.iter().zip(slots) {
+            match slot {
+                Ok(outcome) => completed.push((cores, outcome)),
+                Err(e) => failed.push((cores, e.to_string())),
+            }
+        }
+        let (baseline_cores, baseline_time) = match completed.first() {
+            Some(&(cores, (time, _, _))) => (cores, time),
+            None => {
+                // Every point died: still a report, not a panic.
+                return ResilientSeries {
+                    name: workload.name.clone(),
+                    baseline_cores: core_counts[0],
+                    points: Vec::new(),
+                    failed,
+                };
+            }
+        };
+        let points = completed
+            .into_iter()
+            .map(|(cores, (time, stats, surviving_ranks))| {
+                let speedup =
+                    baseline_cores as f64 * baseline_time.as_secs_f64() / time.as_secs_f64();
+                ResilientPoint {
+                    point: ScalingPoint {
+                        cores,
+                        time,
+                        speedup,
+                        efficiency: speedup / cores as f64,
+                    },
+                    stats,
+                    surviving_ranks,
+                }
+            })
+            .collect();
+        ResilientSeries {
+            name: workload.name.clone(),
+            baseline_cores,
+            points,
+            failed,
         }
     }
 }
@@ -314,5 +496,66 @@ mod tests {
     fn unsorted_counts_panic() {
         let study = ScalingStudy::new(FabricKind::Tibidabo);
         let _ = study.run(&Workload::bigdft_tibidabo(), &[8, 4]);
+    }
+
+    #[test]
+    fn zero_fault_config_is_bit_identical() {
+        let w = Workload::specfem_tibidabo().with_iterations(3);
+        let plain = ScalingStudy::new(FabricKind::Tibidabo).run(&w, &[4, 8, 16]);
+        let faulted = ScalingStudy::new(FabricKind::Tibidabo)
+            .with_faults(FaultConfig::none())
+            .run(&w, &[4, 8, 16]);
+        assert_eq!(plain, faulted);
+    }
+
+    #[test]
+    fn crashes_degrade_but_complete() {
+        let mut cfg = FaultConfig::none();
+        cfg.rank_crash_probability = 1.0;
+        // Crash times are uniform in the horizon; keep it tiny so every
+        // non-root rank dies within the run's first compute phase.
+        cfg.horizon = SimTime::from_micros(100);
+        let study = ScalingStudy::new(FabricKind::Tibidabo).with_faults(cfg);
+        let w = Workload::specfem_tibidabo().with_iterations(5);
+        let out = study.execute_outcome(&w, 8, false);
+        assert!(out.surviving_ranks < 8, "survivors: {}", out.surviving_ranks);
+        assert!(out.surviving_ranks >= 1, "rank 0 never crashes");
+        assert_eq!(out.stats.crashed_ranks, 8 - out.surviving_ranks);
+        assert!(out.stats.skipped_messages > 0);
+        assert!(out.time > SimTime::ZERO);
+    }
+
+    #[test]
+    fn faulted_series_is_deterministic_at_any_worker_count() {
+        let study = ScalingStudy::new(FabricKind::Tibidabo).with_faults(FaultConfig::light());
+        let w = Workload::specfem_tibidabo().with_iterations(3);
+        let counts = [4u32, 8, 16];
+        let parallel = mb_simcore::par::with_threads(4, || study.run_resilient(&w, &counts));
+        let serial = mb_simcore::par::with_threads(1, || study.run_resilient(&w, &counts));
+        assert_eq!(parallel, serial);
+        assert!(parallel.failed.is_empty());
+        assert_eq!(parallel.points.len(), 3);
+    }
+
+    #[test]
+    fn fault_plan_replays_identically() {
+        let study = ScalingStudy::new(FabricKind::Tibidabo).with_faults(FaultConfig::light());
+        assert_eq!(study.fault_plan(16), study.fault_plan(16));
+        assert!(ScalingStudy::new(FabricKind::Tibidabo).fault_plan(16).is_none());
+    }
+
+    #[test]
+    fn resilient_run_contains_poisoned_points() {
+        let study = ScalingStudy::new(FabricKind::Tibidabo);
+        let w = Workload::specfem_tibidabo().with_iterations(1);
+        // 2 cores is below SPECFEM's minimum: that task panics, is
+        // contained, and the rest of the series still completes.
+        let s = study.run_resilient(&w, &[2, 4, 16]);
+        assert_eq!(s.failed.len(), 1);
+        assert_eq!(s.failed[0].0, 2);
+        assert!(s.failed[0].1.contains("needs at least"), "{}", s.failed[0].1);
+        assert_eq!(s.points.len(), 2);
+        assert_eq!(s.baseline_cores, 4);
+        assert!(s.at(16).expect("ran at 16").point.speedup > 1.0);
     }
 }

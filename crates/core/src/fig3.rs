@@ -9,8 +9,9 @@
 //! the real SPECFEM kernel, not assumed.
 
 use crate::platform::Platform;
-use mb_cluster::scaling::{FabricKind, ScalingSeries, ScalingStudy};
+use mb_cluster::scaling::{FabricKind, ResilientSeries, ScalingSeries, ScalingStudy};
 use mb_cluster::workload::Workload;
+use mb_faults::FaultConfig;
 use mb_kernels::specfem::{Specfem, SpecfemConfig};
 use serde::{Deserialize, Serialize};
 
@@ -123,6 +124,77 @@ pub fn run_on(cfg: &Fig3Config, fabric: FabricKind) -> Fig3Report {
     }
 }
 
+/// Figure 3 rerun under injected faults: the same three panels, each a
+/// degraded-but-completed [`ResilientSeries`] with retry/timeout/crash
+/// counters per point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig3FaultReport {
+    /// Fig 3a under faults.
+    pub linpack: ResilientSeries,
+    /// Fig 3b under faults.
+    pub specfem: ResilientSeries,
+    /// Fig 3c under faults.
+    pub bigdft: ResilientSeries,
+    /// The measured Tegra2 per-core rate used (GFLOPS).
+    pub core_gflops: f64,
+}
+
+impl Fig3FaultReport {
+    /// Mean parallel efficiency across every completed point of every
+    /// panel — the single number the `fault_ablation` bench plots
+    /// against the fault rate.
+    pub fn mean_efficiency(&self) -> f64 {
+        let effs: Vec<f64> = [&self.linpack, &self.specfem, &self.bigdft]
+            .into_iter()
+            .flat_map(|s| s.points.iter().map(|p| p.point.efficiency))
+            .collect();
+        if effs.is_empty() {
+            return 0.0;
+        }
+        effs.iter().sum::<f64>() / effs.len() as f64
+    }
+
+    /// Summed resilience counters across all panels and points.
+    pub fn total_stats(&self) -> mb_mpi::ResilienceStats {
+        let mut total = mb_mpi::ResilienceStats::default();
+        for s in [&self.linpack, &self.specfem, &self.bigdft] {
+            for p in &s.points {
+                total.retries += p.stats.retries;
+                total.timeouts += p.stats.timeouts;
+                total.skipped_messages += p.stats.skipped_messages;
+                total.crashed_ranks += p.stats.crashed_ranks;
+            }
+        }
+        total
+    }
+}
+
+/// Runs Figure 3 on the commodity Tibidabo fabric with a deterministic
+/// fault plan injected at every point. With [`FaultConfig::none`] the
+/// numbers are bit-identical to [`run`] (the plan is never installed);
+/// with real fault rates each panel completes degraded — crashed ranks
+/// drop out, dropped messages retransmit with backoff — instead of
+/// dying. Same seed, same config ⇒ same report, at any worker count.
+pub fn run_faulted(cfg: &Fig3Config, faults: FaultConfig) -> Fig3FaultReport {
+    let study = ScalingStudy::new(FabricKind::Tibidabo).with_faults(faults);
+    let core_gflops = tegra2_effective_gflops();
+    let make = |panel: Panel| {
+        match panel {
+            Panel::Linpack => Workload::linpack_tibidabo(),
+            Panel::Specfem => Workload::specfem_tibidabo(),
+            Panel::BigDft => Workload::bigdft_tibidabo(),
+        }
+        .with_core_gflops(core_gflops)
+        .with_iterations(cfg.iterations)
+    };
+    Fig3FaultReport {
+        linpack: study.run_resilient(&make(Panel::Linpack), &cfg.linpack_cores),
+        specfem: study.run_resilient(&make(Panel::Specfem), &cfg.specfem_cores),
+        bigdft: study.run_resilient(&make(Panel::BigDft), &cfg.bigdft_cores),
+        core_gflops,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,5 +229,37 @@ mod tests {
         let w = workload(Panel::BigDft, 2);
         assert!((w.core_gflops - tegra2_effective_gflops()).abs() < 1e-12);
         assert_eq!(w.iterations, 2);
+    }
+
+    #[test]
+    fn zero_fault_rerun_matches_plain_figure3() {
+        let cfg = Fig3Config::quick();
+        let plain = run(&cfg);
+        let faulted = run_faulted(&cfg, FaultConfig::none());
+        for (s, r) in [
+            (&plain.linpack, &faulted.linpack),
+            (&plain.specfem, &faulted.specfem),
+            (&plain.bigdft, &faulted.bigdft),
+        ] {
+            assert!(r.failed.is_empty());
+            for (a, b) in s.points.iter().zip(&r.points) {
+                assert_eq!(a, &b.point, "zero-fault plan must install nothing");
+            }
+        }
+        assert_eq!(faulted.total_stats(), mb_mpi::ResilienceStats::default());
+    }
+
+    #[test]
+    fn faulted_figure3_completes_degraded() {
+        let r = run_faulted(&Fig3Config::quick(), FaultConfig::light());
+        for s in [&r.linpack, &r.specfem, &r.bigdft] {
+            assert!(s.failed.is_empty(), "faults degrade, never kill: {s:?}");
+            assert!(!s.points.is_empty());
+        }
+        let eff = r.mean_efficiency();
+        assert!(eff > 0.0 && eff <= 1.5, "mean efficiency {eff}");
+        let total = r.total_stats();
+        assert!(total.retries > 0, "light faults should force retries");
+        assert!(total.crashed_ranks > 0, "light faults should crash a rank");
     }
 }

@@ -4,6 +4,7 @@
 //! green run under `--features validate` *proves* the sanitizer build is
 //! bit-identical to the unvalidated build — the ISSUE's acceptance gate.
 
+use mb_faults::FaultConfig;
 use montblanc::{fig3, fig5, fig7, table2};
 
 /// Folds a stream of `f64`s into one order-sensitive 64-bit digest.
@@ -21,6 +22,34 @@ pub fn fig3_quick() -> u64 {
         [&r.linpack, &r.specfem, &r.bigdft]
             .into_iter()
             .flat_map(|s| s.points.iter().flat_map(|p| [p.speedup, p.efficiency]))
+            .chain([r.core_gflops]),
+    )
+}
+
+/// Digest of the fault-injected Figure 3 quick run under
+/// [`FaultConfig::light`]: every completed point's scaling numbers
+/// *and* its resilience counters (retries, timeouts, skips, crashes,
+/// survivors). Pinning this proves the whole fault pipeline — plan
+/// generation, fabric fault windows, retry/backoff, crash degradation —
+/// replays bit-identically at any worker count and in both builds.
+pub fn fig3_faulted_quick() -> u64 {
+    let r = fig3::run_faulted(&fig3::Fig3Config::quick(), FaultConfig::light());
+    digest(
+        [&r.linpack, &r.specfem, &r.bigdft]
+            .into_iter()
+            .flat_map(|s| {
+                s.points.iter().flat_map(|p| {
+                    [
+                        p.point.speedup,
+                        p.point.efficiency,
+                        p.stats.retries as f64,
+                        p.stats.timeouts as f64,
+                        p.stats.skipped_messages as f64,
+                        p.stats.crashed_ranks as f64,
+                        p.surviving_ranks as f64,
+                    ]
+                })
+            })
             .chain([r.core_gflops]),
     )
 }
@@ -62,3 +91,5 @@ pub const FIG5_QUICK_DIGEST: u64 = 0x206e_118a_c499_7a4c;
 pub const FIG7_QUICK_DIGEST: u64 = 0xa5a1_d292_2006_e451;
 /// See [`FIG3_QUICK_DIGEST`].
 pub const TABLE2_QUICK_DIGEST: u64 = 0xe2a5_d2bf_61fb_fbcf;
+/// Pinned digest of [`fig3_faulted_quick`].
+pub const FIG3_FAULTED_QUICK_DIGEST: u64 = 0x8ce8_a81a_59cb_2163;

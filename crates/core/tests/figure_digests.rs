@@ -37,6 +37,17 @@ fn fig7_quick_output_is_pinned() {
 }
 
 #[test]
+fn fig3_faulted_quick_output_is_pinned() {
+    assert_eq!(
+        digest::fig3_faulted_quick(),
+        digest::FIG3_FAULTED_QUICK_DIGEST,
+        "fault-injected Figure 3 quick output changed bit-identity; if \
+         intentional, re-pin FIG3_FAULTED_QUICK_DIGEST in \
+         tests/common/digest.rs"
+    );
+}
+
+#[test]
 fn table2_quick_output_is_pinned() {
     assert_eq!(
         digest::table2_quick(),

@@ -30,6 +30,10 @@ fn figures_run_bit_identical_under_validation() {
     assert_eq!(digest::fig5_quick(), digest::FIG5_QUICK_DIGEST);
     assert_eq!(digest::fig7_quick(), digest::FIG7_QUICK_DIGEST);
     assert_eq!(digest::table2_quick(), digest::TABLE2_QUICK_DIGEST);
+    assert_eq!(
+        digest::fig3_faulted_quick(),
+        digest::FIG3_FAULTED_QUICK_DIGEST
+    );
 }
 
 #[test]

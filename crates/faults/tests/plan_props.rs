@@ -1,0 +1,102 @@
+//! Property tests: a seeded `FaultPlan` is a pure function of its
+//! inputs — any `(seed, config, topology)` replays bit-identically —
+//! and the generated schedule respects its structural invariants.
+
+use mb_faults::{Fault, FaultConfig, FaultPlan, Topology};
+use mb_simcore::time::SimTime;
+use proptest::prelude::*;
+
+fn config_from(parts: (f64, f64, f64, f64, f64, u64)) -> FaultConfig {
+    let (ld, lg, sd, st, rc, horizon_ms) = parts;
+    FaultConfig {
+        link_down_probability: ld,
+        link_degrade_probability: lg,
+        switch_drop_probability: sd,
+        straggler_probability: st,
+        rank_crash_probability: rc,
+        horizon: SimTime::from_millis(horizon_ms),
+    }
+}
+
+proptest! {
+    #[test]
+    fn any_seeded_plan_replays_identically(
+        seed in 0u64..u64::MAX,
+        links in 0u32..200,
+        switches in 0u32..8,
+        hosts in 0u32..100,
+        ranks in 0u32..200,
+        ld in 0u64..100,
+        lg in 0u64..100,
+        sd in 0u64..100,
+        st in 0u64..100,
+        rc in 0u64..100,
+        horizon_ms in 1u64..120_000,
+    ) {
+        let cfg = config_from((
+            ld as f64 / 100.0,
+            lg as f64 / 100.0,
+            sd as f64 / 100.0,
+            st as f64 / 100.0,
+            rc as f64 / 100.0,
+            horizon_ms,
+        ));
+        let topo = Topology { links, switches, hosts, ranks };
+        let a = FaultPlan::generate(seed, &cfg, &topo);
+        let b = FaultPlan::generate(seed, &cfg, &topo);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.seed(), seed);
+    }
+
+    #[test]
+    fn plans_respect_structural_invariants(
+        seed in 0u64..u64::MAX,
+        links in 0u32..200,
+        ranks in 1u32..200,
+        horizon_ms in 1u64..60_000,
+    ) {
+        let cfg = config_from((0.5, 0.5, 0.5, 0.5, 0.5, horizon_ms));
+        let topo = Topology { links, switches: 4, hosts: 50, ranks };
+        let plan = FaultPlan::generate(seed, &cfg, &topo);
+        let horizon = SimTime::from_millis(horizon_ms);
+        for f in plan.faults() {
+            match *f {
+                Fault::LinkDown { link, window } => {
+                    prop_assert!(link < links);
+                    prop_assert!(window.start <= window.end);
+                    prop_assert!(window.end <= horizon);
+                }
+                Fault::LinkDegrade { link, window, bandwidth_factor } => {
+                    prop_assert!(link < links);
+                    prop_assert!(window.end <= horizon);
+                    prop_assert!(bandwidth_factor > 0.0 && bandwidth_factor < 1.0);
+                }
+                Fault::SwitchDrop { switch, window, drop_probability } => {
+                    prop_assert!(switch < 4);
+                    prop_assert!(window.end <= horizon);
+                    prop_assert!(drop_probability > 0.0 && drop_probability < 1.0);
+                }
+                Fault::Straggler { host, window, slowdown_factor } => {
+                    prop_assert!(host < 50);
+                    prop_assert!(window.end <= horizon);
+                    prop_assert!(slowdown_factor > 1.0);
+                }
+                Fault::RankCrash { rank, at } => {
+                    prop_assert!(rank > 0 && rank < ranks, "rank 0 must never crash");
+                    prop_assert!(at < horizon);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rate_configs_always_empty(
+        seed in 0u64..u64::MAX,
+        links in 0u32..500,
+        ranks in 0u32..500,
+    ) {
+        let topo = Topology { links, switches: 8, hosts: 250, ranks };
+        let plan = FaultPlan::generate(seed, &FaultConfig::none(), &topo);
+        prop_assert!(plan.is_empty());
+    }
+}

@@ -1,7 +1,10 @@
 //! The communicator: ranks, clocks, point-to-point and collectives.
 
+use crate::resilience::{Resilience, ResilienceStats, RetryPolicy};
+use mb_faults::FaultPlan;
 use mb_net::fabric::Fabric;
 use mb_net::graph::NodeId;
+use mb_simcore::error::{MbError, MbResult};
 use mb_simcore::time::SimTime;
 use mb_trace::record::{CollectiveKind, CommRecord, StateKind};
 use mb_trace::trace::Trace;
@@ -59,6 +62,9 @@ pub struct Comm {
     clock: Vec<SimTime>,
     trace: Trace,
     next_op: u64,
+    // `None` on the healthy path: every fault check is gated on this, so
+    // a communicator without a plan runs the exact pre-fault code.
+    resilience: Option<Resilience>,
 }
 
 impl Comm {
@@ -68,28 +74,110 @@ impl Comm {
     ///
     /// Panics if the fabric has too few hosts for
     /// `ranks / ranks_per_host`, or if `ranks` or `ranks_per_host` is
-    /// zero.
+    /// zero. Use [`Comm::try_new`] to get the condition as a value.
     pub fn new(fabric: Fabric, cfg: CommConfig) -> Self {
-        assert!(cfg.ranks > 0, "need at least one rank");
-        assert!(cfg.ranks_per_host > 0, "need at least one rank per host");
+        match Comm::try_new(fabric, cfg) {
+            Ok(c) => c,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`Comm::new`] returning configuration mismatches as values.
+    ///
+    /// # Errors
+    ///
+    /// [`MbError::InvalidConfig`] if `ranks` or `ranks_per_host` is zero
+    /// or the fabric has too few hosts.
+    pub fn try_new(fabric: Fabric, cfg: CommConfig) -> MbResult<Self> {
+        if cfg.ranks == 0 {
+            return Err(MbError::InvalidConfig {
+                what: "need at least one rank".to_string(),
+            });
+        }
+        if cfg.ranks_per_host == 0 {
+            return Err(MbError::InvalidConfig {
+                what: "need at least one rank per host".to_string(),
+            });
+        }
         let hosts_needed = cfg.ranks.div_ceil(cfg.ranks_per_host) as usize;
         let fabric_hosts = fabric.network().hosts().to_vec();
-        assert!(
-            fabric_hosts.len() >= hosts_needed,
-            "fabric has {} hosts, {} needed",
-            fabric_hosts.len(),
-            hosts_needed
-        );
+        if fabric_hosts.len() < hosts_needed {
+            return Err(MbError::InvalidConfig {
+                what: format!(
+                    "fabric has {} hosts, {} needed",
+                    fabric_hosts.len(),
+                    hosts_needed
+                ),
+            });
+        }
         let hosts = (0..cfg.ranks)
             .map(|r| fabric_hosts[(r / cfg.ranks_per_host) as usize])
             .collect();
-        Comm {
+        Ok(Comm {
             fabric,
             cfg,
             hosts,
             clock: vec![SimTime::ZERO; cfg.ranks as usize],
             trace: Trace::new(cfg.ranks),
             next_op: 0,
+            resilience: None,
+        })
+    }
+
+    /// Creates a fault-tolerant communicator: the plan is installed into
+    /// the fabric (link/switch faults) and kept for crash/straggler
+    /// queries, and dropped messages are retransmitted under `policy`.
+    /// An empty plan installs nothing — the communicator is then
+    /// bit-identical to [`Comm::try_new`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Comm::try_new`].
+    pub fn resilient(
+        fabric: Fabric,
+        cfg: CommConfig,
+        plan: FaultPlan,
+        policy: RetryPolicy,
+    ) -> MbResult<Self> {
+        let install = !plan.is_empty();
+        let fabric = fabric.with_faults(plan.clone());
+        let mut comm = Comm::try_new(fabric, cfg)?;
+        if install {
+            comm.resilience = Some(Resilience {
+                plan,
+                policy,
+                alive: vec![true; cfg.ranks as usize],
+                stats: ResilienceStats::default(),
+            });
+        }
+        Ok(comm)
+    }
+
+    /// Resilience counters (all zero when no fault plan is installed).
+    pub fn resilience_stats(&self) -> ResilienceStats {
+        self.resilience
+            .as_ref()
+            .map(|r| r.stats)
+            .unwrap_or_default()
+    }
+
+    /// Whether the rank is still alive (always true without a plan).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rank is out of range.
+    pub fn is_alive(&self, rank: u32) -> bool {
+        self.resilience
+            .as_ref()
+            .map(|r| r.alive[rank as usize])
+            .unwrap_or(true)
+    }
+
+    /// Number of ranks still alive.
+    pub fn surviving_ranks(&self) -> u32 {
+        match &self.resilience {
+            Some(r) => r.alive.iter().filter(|a| **a).count() as u32,
+            None => self.cfg.ranks,
         }
     }
 
@@ -127,13 +215,68 @@ impl Comm {
         &self.fabric
     }
 
-    /// Advances one rank's clock by a computation phase.
+    /// Marks `rank` dead if its crash time has passed its clock.
+    fn refresh_crash(&mut self, rank: u32) {
+        let Some(res) = &mut self.resilience else {
+            return;
+        };
+        if !res.alive[rank as usize] {
+            return;
+        }
+        if let Some(at) = res.plan.crash_time(rank) {
+            if self.clock[rank as usize] >= at {
+                res.alive[rank as usize] = false;
+                res.stats.crashed_ranks += 1;
+                if self.cfg.tracing {
+                    self.trace
+                        .push_event(rank, self.clock[rank as usize], "rank_crash", rank as u64);
+                }
+            }
+        }
+    }
+
+    /// Refreshes every rank's liveness; true when anyone is dead.
+    /// Always false without a plan (no per-rank scan at all).
+    fn any_rank_dead(&mut self) -> bool {
+        if self.resilience.is_none() {
+            return false;
+        }
+        for r in 0..self.cfg.ranks {
+            self.refresh_crash(r);
+        }
+        self.resilience
+            .as_ref()
+            .is_some_and(|res| res.alive.iter().any(|a| !a))
+    }
+
+    /// Surviving ranks in rank order (all ranks without a plan).
+    fn alive_ranks(&self) -> Vec<u32> {
+        (0..self.cfg.ranks).filter(|&r| self.is_alive(r)).collect()
+    }
+
+    /// Advances one rank's clock by a computation phase. Under a fault
+    /// plan, a straggler window multiplies the duration and a crashed
+    /// rank stops computing entirely.
     ///
     /// # Panics
     ///
     /// Panics if the rank is out of range.
     pub fn compute(&mut self, rank: u32, duration: SimTime) {
         let start = self.clock[rank as usize];
+        let mut duration = duration;
+        if self.resilience.is_some() {
+            self.refresh_crash(rank);
+            let res = self.resilience.as_ref().expect("checked above");
+            if !res.alive[rank as usize] {
+                return;
+            }
+            let host = rank / self.cfg.ranks_per_host;
+            let factor = res.plan.straggler_factor(host, start);
+            if factor != 1.0 {
+                duration =
+                    SimTime::from_nanos((duration.as_nanos() as f64 * factor).round() as u64);
+            }
+        }
         self.clock[rank as usize] += duration;
         if self.cfg.tracing {
             self.trace
@@ -154,6 +297,10 @@ impl Comm {
     /// *sender's* clock advances past the send overhead only (eager
     /// protocol); the receiver's clock is pushed to the arrival.
     fn transfer(&mut self, src: u32, dst: u32, bytes: u64, coll: Option<(CollectiveKind, u64)>) {
+        if self.resilience.is_some() {
+            self.transfer_resilient(src, dst, bytes, coll);
+            return;
+        }
         let depart = self.clock[src as usize] + self.cfg.per_message_overhead;
         let (src_host, dst_host) = (self.hosts[src as usize], self.hosts[dst as usize]);
         let arrive = if src_host == dst_host {
@@ -173,6 +320,90 @@ impl Comm {
                 bytes,
                 collective: coll,
             });
+        }
+    }
+
+    /// [`Comm::transfer`] under an installed fault plan: skips messages
+    /// with a crashed endpoint and retransmits dropped ones with bounded
+    /// backoff; an exhausted budget abandons the message (the receiver
+    /// simply never advances for it).
+    fn transfer_resilient(
+        &mut self,
+        src: u32,
+        dst: u32,
+        bytes: u64,
+        coll: Option<(CollectiveKind, u64)>,
+    ) {
+        self.refresh_crash(src);
+        self.refresh_crash(dst);
+        {
+            let res = self.resilience.as_mut().expect("resilient path");
+            if !res.alive[src as usize] || !res.alive[dst as usize] {
+                res.stats.skipped_messages += 1;
+                return;
+            }
+        }
+        let depart = self.clock[src as usize] + self.cfg.per_message_overhead;
+        let (src_host, dst_host) = (self.hosts[src as usize], self.hosts[dst as usize]);
+        let (arrive, sender_done) = if src_host == dst_host {
+            let a = depart + SimTime::from_secs_f64(bytes as f64 / self.cfg.intra_node_bw);
+            (Some(a), depart)
+        } else {
+            self.send_with_retry(src, dst, src_host, dst_host, bytes, depart)
+        };
+        self.clock[src as usize] = sender_done;
+        if let Some(arrive) = arrive {
+            let recv_done = arrive + self.cfg.per_message_overhead;
+            self.clock[dst as usize] = self.clock[dst as usize].max(recv_done);
+            if self.cfg.tracing {
+                self.trace.push_comm(CommRecord {
+                    src,
+                    dst,
+                    send_time: depart,
+                    recv_time: recv_done,
+                    bytes,
+                    collective: coll,
+                });
+            }
+        }
+    }
+
+    /// Sends over the fabric, retransmitting dropped messages per the
+    /// retry policy. Returns `(arrival, sender-done time)`; arrival is
+    /// `None` when the retry budget is exhausted (an `mpi_timeout`).
+    fn send_with_retry(
+        &mut self,
+        src: u32,
+        dst: u32,
+        src_host: NodeId,
+        dst_host: NodeId,
+        bytes: u64,
+        depart: SimTime,
+    ) -> (Option<SimTime>, SimTime) {
+        let policy = self.resilience.as_ref().expect("resilient path").policy;
+        let mut attempt = 0u32;
+        let mut when = depart;
+        loop {
+            match self.fabric.try_send(src_host, dst_host, bytes, when) {
+                Ok(arrive) => return (Some(arrive), when),
+                Err(_) => {
+                    let res = self.resilience.as_mut().expect("resilient path");
+                    if attempt >= policy.max_retries {
+                        res.stats.timeouts += 1;
+                        if self.cfg.tracing {
+                            self.trace.push_event(src, when, "mpi_timeout", dst as u64);
+                        }
+                        return (None, when);
+                    }
+                    res.stats.retries += 1;
+                    if self.cfg.tracing {
+                        self.trace
+                            .push_event(src, when, "mpi_retry", (attempt + 1) as u64);
+                    }
+                    when += policy.backoff_before(attempt);
+                    attempt += 1;
+                }
+            }
         }
     }
 
@@ -211,6 +442,10 @@ impl Comm {
             assert!(src < n && dst < n, "rank range");
             assert!(src != dst, "exchange messages must cross ranks");
         }
+        if self.resilience.is_some() {
+            self.exchange_resilient(messages, coll);
+            return;
+        }
         let entry: Vec<SimTime> = self.clock.clone();
         let mut sends_posted = vec![0u64; n as usize];
         let mut recv_latest: Vec<SimTime> = entry.clone();
@@ -241,6 +476,63 @@ impl Comm {
         }
         for r in 0..n as usize {
             self.clock[r] = send_latest[r].max(recv_latest[r]);
+        }
+    }
+
+    /// [`Comm::exchange_tagged`] under a fault plan: messages touching a
+    /// crashed rank are skipped, dropped messages retransmit with
+    /// backoff, and timed-out messages never advance their receiver.
+    /// Crashed ranks' clocks stay frozen.
+    fn exchange_resilient(
+        &mut self,
+        messages: &[(u32, u32, u64)],
+        coll: Option<(CollectiveKind, u64)>,
+    ) {
+        let n = self.cfg.ranks;
+        for r in 0..n {
+            self.refresh_crash(r);
+        }
+        let entry: Vec<SimTime> = self.clock.clone();
+        let mut sends_posted = vec![0u64; n as usize];
+        let mut recv_latest: Vec<SimTime> = entry.clone();
+        let mut send_latest: Vec<SimTime> = entry.clone();
+        for &(src, dst, bytes) in messages {
+            if !self.is_alive(src) || !self.is_alive(dst) {
+                let res = self.resilience.as_mut().expect("resilient path");
+                res.stats.skipped_messages += 1;
+                continue;
+            }
+            let depart = entry[src as usize]
+                + self.cfg.per_message_overhead * (sends_posted[src as usize] + 1);
+            sends_posted[src as usize] += 1;
+            let (src_host, dst_host) = (self.hosts[src as usize], self.hosts[dst as usize]);
+            let (arrive, sender_done) = if src_host == dst_host {
+                let a = depart + SimTime::from_secs_f64(bytes as f64 / self.cfg.intra_node_bw);
+                (Some(a), depart)
+            } else {
+                self.send_with_retry(src, dst, src_host, dst_host, bytes, depart)
+            };
+            send_latest[src as usize] = send_latest[src as usize].max(sender_done);
+            if let Some(arrive) = arrive {
+                let recv_done = arrive + self.cfg.per_message_overhead;
+                recv_latest[dst as usize] = recv_latest[dst as usize].max(recv_done);
+                if self.cfg.tracing {
+                    self.trace.push_comm(CommRecord {
+                        src,
+                        dst,
+                        send_time: depart,
+                        recv_time: recv_done,
+                        bytes,
+                        collective: coll,
+                    });
+                }
+            }
+        }
+        for r in 0..n {
+            if self.is_alive(r) {
+                let i = r as usize;
+                self.clock[i] = send_latest[i].max(recv_latest[i]);
+            }
         }
     }
 
@@ -302,15 +594,24 @@ impl Comm {
             return;
         }
         let id = self.bump_op();
+        // Healthy chain: root, root+1, …; under crashes the chain
+        // re-closes around the dead ranks so the payload still reaches
+        // every survivor.
+        let chain: Vec<u32> = if self.any_rank_dead() {
+            (0..n).map(|i| (root + i) % n).filter(|&r| self.is_alive(r)).collect()
+        } else {
+            (0..n).map(|i| (root + i) % n).collect()
+        };
+        if chain.len() < 2 {
+            return;
+        }
         const SEGMENT: u64 = 1024 * 1024;
         let mut remaining = bytes;
         while remaining > 0 {
             let seg = remaining.min(SEGMENT);
             remaining -= seg;
-            for i in 0..n - 1 {
-                let src = (root + i) % n;
-                let dst = (root + i + 1) % n;
-                self.transfer(src, dst, seg, Some((CollectiveKind::Bcast, id)));
+            for w in chain.windows(2) {
+                self.transfer(w[0], w[1], seg, Some((CollectiveKind::Bcast, id)));
             }
         }
     }
@@ -349,17 +650,36 @@ impl Comm {
         }
     }
 
+    /// The ring schedule: healthy, every rank sends to its successor for
+    /// `p−1` steps; under crashes the ring re-closes around the
+    /// survivors and runs `survivors−1` steps.
+    fn ring_schedule(&mut self, bytes: u64) -> (Vec<(u32, u32, u64)>, u32) {
+        let n = self.cfg.ranks;
+        if self.any_rank_dead() {
+            let alive = self.alive_ranks();
+            if alive.len() < 2 {
+                return (Vec::new(), 0);
+            }
+            let msgs = (0..alive.len())
+                .map(|i| (alive[i], alive[(i + 1) % alive.len()], bytes))
+                .collect();
+            (msgs, alive.len() as u32 - 1)
+        } else {
+            let msgs = (0..n).map(|r| (r, (r + 1) % n, bytes)).collect();
+            (msgs, n - 1)
+        }
+    }
+
     /// All-gather via the ring algorithm: in each of `p−1` steps every
     /// rank forwards the block it just received to its successor.
     /// Bandwidth-optimal and uplink-friendly, like [`Comm::bcast_ring`].
     pub fn allgather_ring(&mut self, bytes: u64) {
-        let n = self.cfg.ranks;
-        if n == 1 {
+        if self.cfg.ranks == 1 {
             return;
         }
         let id = self.bump_op();
-        for _step in 0..n - 1 {
-            let msgs: Vec<(u32, u32, u64)> = (0..n).map(|r| (r, (r + 1) % n, bytes)).collect();
+        let (msgs, steps) = self.ring_schedule(bytes);
+        for _step in 0..steps {
             self.exchange_tagged(&msgs, Some((CollectiveKind::Gather, id)));
         }
     }
@@ -374,8 +694,8 @@ impl Comm {
         }
         let id = self.bump_op();
         let block = (bytes / n as u64).max(1);
-        for _step in 0..n - 1 {
-            let msgs: Vec<(u32, u32, u64)> = (0..n).map(|r| (r, (r + 1) % n, block)).collect();
+        let (msgs, steps) = self.ring_schedule(block);
+        for _step in 0..steps {
             self.exchange_tagged(&msgs, Some((CollectiveKind::Allreduce, id)));
         }
     }
@@ -391,8 +711,8 @@ impl Comm {
         self.reduce_scatter_ring(bytes);
         let block = (bytes / n as u64).max(1);
         let id = self.bump_op();
-        for _step in 0..n - 1 {
-            let msgs: Vec<(u32, u32, u64)> = (0..n).map(|r| (r, (r + 1) % n, block)).collect();
+        let (msgs, steps) = self.ring_schedule(block);
+        for _step in 0..steps {
             self.exchange_tagged(&msgs, Some((CollectiveKind::Allreduce, id)));
         }
     }
@@ -453,10 +773,17 @@ impl Comm {
             }
         }
         // A collective completes everywhere only when the last message
-        // lands: synchronise participants.
-        let max = self.max_clock();
-        for c in &mut self.clock {
-            *c = max;
+        // lands: synchronise the participants (survivors only — a
+        // crashed rank's clock stays frozen at its death).
+        let max = (0..self.cfg.ranks)
+            .filter(|&r| self.is_alive(r))
+            .map(|r| self.clock[r as usize])
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        for r in 0..self.cfg.ranks {
+            if self.is_alive(r) {
+                self.clock[r as usize] = max;
+            }
         }
     }
 
@@ -467,6 +794,17 @@ impl Comm {
     }
 
     fn binomial_from_root(&mut self, root: u32, bytes: u64, coll: Option<(CollectiveKind, u64)>) {
+        if self.any_rank_dead() {
+            // A binomial relay chain breaks at a dead intermediate, so
+            // the collective degrades to a linear fan-out from the root
+            // over the survivors — slower, but it completes.
+            for r in self.alive_ranks() {
+                if r != root {
+                    self.transfer(root, r, bytes, coll);
+                }
+            }
+            return;
+        }
         let n = self.cfg.ranks;
         // Relative numbering: rank 0 == root.
         let mut reached = 1u32;
@@ -486,6 +824,15 @@ impl Comm {
     }
 
     fn binomial_to_root(&mut self, root: u32, bytes: u64, coll: Option<(CollectiveKind, u64)>) {
+        if self.any_rank_dead() {
+            // Linear gather from the survivors (see binomial_from_root).
+            for r in self.alive_ranks() {
+                if r != root {
+                    self.transfer(r, root, bytes, coll);
+                }
+            }
+            return;
+        }
         let n = self.cfg.ranks;
         // Mirror of the broadcast tree: run the rounds in reverse.
         let mut spans = Vec::new();
@@ -713,6 +1060,179 @@ mod tests {
     #[should_panic(expected = "fabric has")]
     fn too_few_hosts_panics() {
         let _ = Comm::new(tibidabo_fabric(2), CommConfig::tibidabo(16));
+    }
+
+    #[test]
+    fn try_new_surfaces_config_errors_as_values() {
+        let err = Comm::try_new(tibidabo_fabric(2), CommConfig::tibidabo(16)).unwrap_err();
+        assert!(err.to_string().contains("fabric has"), "{err}");
+        let err = Comm::try_new(tibidabo_fabric(2), CommConfig::tibidabo(0)).unwrap_err();
+        assert!(err.to_string().contains("at least one rank"), "{err}");
+    }
+
+    #[test]
+    fn resilient_with_empty_plan_is_bit_identical() {
+        use mb_faults::{FaultConfig, FaultPlan};
+        let workload = |c: &mut Comm| {
+            c.compute_all(SimTime::from_micros(200));
+            c.bcast(0, 256 * 1024);
+            c.allreduce_ring(1 << 20);
+            c.exchange(&[(0, 5, 40_000), (5, 0, 40_000), (2, 7, 40_000)]);
+            c.alltoall(8192);
+            c.barrier();
+        };
+        let mut plain = comm(4, 8);
+        workload(&mut plain);
+        let fabric = tibidabo_fabric(4);
+        let topo = fabric.network().fault_topology(8);
+        let empty = FaultPlan::generate(1, &FaultConfig::none(), &topo);
+        let mut res = Comm::resilient(
+            fabric,
+            CommConfig::tibidabo(8),
+            empty,
+            RetryPolicy::tibidabo(),
+        )
+        .unwrap();
+        workload(&mut res);
+        for r in 0..8 {
+            assert_eq!(plain.clock(r), res.clock(r), "rank {r} diverged");
+        }
+        assert_eq!(res.resilience_stats(), ResilienceStats::default());
+        assert_eq!(res.surviving_ranks(), 8);
+    }
+
+    #[test]
+    fn dropped_messages_retry_and_deliver() {
+        use mb_faults::{Fault, FaultPlan, FaultWindow};
+        // Switch 0 (the top-of-rack) drops everything for the first
+        // 500 µs, then heals: retries push messages past the window.
+        let plan = FaultPlan::from_faults(
+            0,
+            vec![Fault::SwitchDrop {
+                switch: 0,
+                window: FaultWindow {
+                    start: SimTime::ZERO,
+                    end: SimTime::from_micros(500),
+                },
+                drop_probability: 1.0,
+            }],
+        );
+        let mut c = Comm::resilient(
+            tibidabo_fabric(2),
+            CommConfig::tibidabo(4).with_tracing(),
+            plan,
+            RetryPolicy::tibidabo(),
+        )
+        .unwrap();
+        c.p2p(0, 2, 1500);
+        let stats = c.resilience_stats();
+        assert!(stats.retries > 0, "expected retries: {stats:?}");
+        assert_eq!(stats.timeouts, 0, "{stats:?}");
+        // Delivered after the window despite the drops.
+        assert!(c.clock(2) > SimTime::from_micros(500));
+        let retries = c
+            .trace()
+            .events()
+            .iter()
+            .filter(|e| e.label == "mpi_retry")
+            .count();
+        assert_eq!(retries as u64, stats.retries);
+    }
+
+    #[test]
+    fn exhausted_retries_time_out_without_aborting() {
+        use mb_faults::{Fault, FaultPlan, FaultWindow};
+        // The switch never heals: the sender gives up after its budget.
+        let plan = FaultPlan::from_faults(
+            0,
+            vec![Fault::SwitchDrop {
+                switch: 0,
+                window: FaultWindow {
+                    start: SimTime::ZERO,
+                    end: SimTime::from_secs(3600),
+                },
+                drop_probability: 1.0,
+            }],
+        );
+        let mut c = Comm::resilient(
+            tibidabo_fabric(2),
+            CommConfig::tibidabo(4).with_tracing(),
+            plan,
+            RetryPolicy::tibidabo(),
+        )
+        .unwrap();
+        c.p2p(0, 2, 1500);
+        let stats = c.resilience_stats();
+        assert_eq!(stats.timeouts, 1, "{stats:?}");
+        assert_eq!(stats.retries, 4, "{stats:?}");
+        // The receiver never heard anything.
+        assert_eq!(c.clock(2), SimTime::ZERO);
+        assert!(c.trace().events().iter().any(|e| e.label == "mpi_timeout"));
+    }
+
+    #[test]
+    fn crashed_rank_degrades_collectives_without_aborting() {
+        use mb_faults::{Fault, FaultPlan};
+        let plan = FaultPlan::from_faults(
+            0,
+            vec![Fault::RankCrash {
+                rank: 3,
+                at: SimTime::from_micros(100),
+            }],
+        );
+        let mut c = Comm::resilient(
+            tibidabo_fabric(4),
+            CommConfig::tibidabo(8).with_tracing(),
+            plan,
+            RetryPolicy::tibidabo(),
+        )
+        .unwrap();
+        c.compute_all(SimTime::from_millis(1)); // pushes rank 3 past its crash
+        c.bcast(0, 64 * 1024);
+        c.allreduce(8192);
+        c.allgather_ring(4096);
+        c.alltoall(2048);
+        c.barrier();
+        assert!(!c.is_alive(3));
+        assert_eq!(c.surviving_ranks(), 7);
+        let stats = c.resilience_stats();
+        assert_eq!(stats.crashed_ranks, 1);
+        assert!(stats.skipped_messages > 0, "{stats:?}");
+        // Survivors made progress; the dead rank's clock froze.
+        for r in 0..8 {
+            if r != 3 {
+                assert!(c.clock(r) > SimTime::from_millis(1), "rank {r}");
+            }
+        }
+        assert!(c.clock(3) <= SimTime::from_millis(1) + SimTime::from_micros(1));
+        assert!(c.trace().events().iter().any(|e| e.label == "rank_crash"));
+    }
+
+    #[test]
+    fn straggler_window_slows_compute() {
+        use mb_faults::{Fault, FaultPlan, FaultWindow};
+        // Host 1 (ranks 2,3) computes 3× slower for the first 10 ms.
+        let plan = FaultPlan::from_faults(
+            0,
+            vec![Fault::Straggler {
+                host: 1,
+                window: FaultWindow {
+                    start: SimTime::ZERO,
+                    end: SimTime::from_millis(10),
+                },
+                slowdown_factor: 3.0,
+            }],
+        );
+        let mut c = Comm::resilient(
+            tibidabo_fabric(2),
+            CommConfig::tibidabo(4),
+            plan,
+            RetryPolicy::tibidabo(),
+        )
+        .unwrap();
+        c.compute_all(SimTime::from_millis(1));
+        assert_eq!(c.clock(0), SimTime::from_millis(1));
+        assert_eq!(c.clock(2), SimTime::from_millis(3), "3× slowdown");
     }
 
     #[test]

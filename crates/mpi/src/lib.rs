@@ -15,7 +15,12 @@
 //!   the algorithm whose congestion Figure 4 exposes);
 //! * optional tracing: every message becomes an `mb-trace`
 //!   [`mb_trace::record::CommRecord`], collectives tagged with an op id,
-//!   compute phases recorded as states — ready for the Figure 4 analysis.
+//!   compute phases recorded as states — ready for the Figure 4 analysis;
+//! * fault tolerance ([`resilience`]): [`comm::Comm::resilient`]
+//!   installs an `mb-faults` plan — dropped messages retransmit with
+//!   bounded exponential backoff, crashed ranks drop out and collectives
+//!   shrink to the survivors, every retry/timeout/crash emitted as a
+//!   trace event so delay analysis can attribute stalls to faults.
 //!
 //! # Examples
 //!
@@ -35,5 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod comm;
+pub mod resilience;
 
 pub use comm::{Comm, CommConfig};
+pub use resilience::{ResilienceStats, RetryPolicy};

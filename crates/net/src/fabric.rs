@@ -14,6 +14,8 @@
 //! "delayed communications" of Figure 4.
 
 use crate::graph::{LinkId, Network, NodeId};
+use mb_faults::FaultPlan;
+use mb_simcore::error::{MbError, MbResult};
 use mb_simcore::rng::{Rng, Xoshiro256};
 use mb_simcore::time::SimTime;
 use serde::{Deserialize, Serialize};
@@ -88,6 +90,12 @@ pub struct FabricStats {
     /// Total time messages spent queued behind busy links (ns summed
     /// over messages and hops).
     pub queueing_ns: u64,
+    /// Messages dropped by an injected switch fault (surface as
+    /// [`MbError::Dropped`] from [`Fabric::try_send`]).
+    pub fault_drops: u64,
+    /// Total time messages spent stalled behind injected link outages
+    /// (ns summed over messages and hops).
+    pub fault_stall_ns: u64,
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -126,6 +134,11 @@ pub struct Fabric {
     stats: FabricStats,
     rng: Xoshiro256,
     seed: u64,
+    // Injected faults; `None` keeps the hot path free of fault checks
+    // (empty plans are never installed). Switch ordinals are precomputed
+    // because plans address switches by creation order, not NodeId.
+    faults: Option<FaultPlan>,
+    switch_ordinals: BTreeMap<NodeId, u32>,
 }
 
 impl Fabric {
@@ -141,6 +154,8 @@ impl Fabric {
             stats: FabricStats::default(),
             rng: Xoshiro256::seed_from(seed),
             seed,
+            faults: None,
+            switch_ordinals: BTreeMap::new(),
         }
     }
 
@@ -150,6 +165,31 @@ impl Fabric {
         self.seed = seed;
         self.rng = Xoshiro256::seed_from(seed);
         self
+    }
+
+    /// Installs a fault plan, builder-style. Empty plans are discarded,
+    /// so a zero-fault fabric takes the exact same code path (and
+    /// produces the exact same bits) as one that never heard of faults.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        if plan.is_empty() {
+            self.faults = None;
+            self.switch_ordinals.clear();
+        } else {
+            self.switch_ordinals = self
+                .network
+                .switches()
+                .iter()
+                .enumerate()
+                .map(|(i, &id)| (id, i as u32))
+                .collect();
+            self.faults = Some(plan);
+        }
+        self
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
     }
 
     /// The underlying network.
@@ -176,15 +216,40 @@ impl Fabric {
     ///
     /// # Panics
     ///
-    /// Panics if no route exists or `src == dst` is combined with zero
-    /// hops (self-sends return `depart` immediately).
+    /// Panics if no route exists, or if an installed fault plan drops
+    /// the message — resilient callers use [`Fabric::try_send`].
     pub fn send(&mut self, src: NodeId, dst: NodeId, bytes: u64, depart: SimTime) -> SimTime {
+        match self.try_send(src, dst, bytes, depart) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`Fabric::send`] with recoverable failures surfaced as values.
+    ///
+    /// With a fault plan installed, the message additionally stalls
+    /// behind link outages, transmits slower through degraded links, and
+    /// may be dropped by a misbehaving switch. Link occupancy consumed
+    /// before the drop point stays consumed — a dropped message wasted
+    /// real wire time, exactly like the hiccup retransmissions.
+    ///
+    /// # Errors
+    ///
+    /// [`MbError::NoRoute`] if the nodes are disconnected;
+    /// [`MbError::Dropped`] if an injected switch fault eats the message.
+    pub fn try_send(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        depart: SimTime,
+    ) -> MbResult<SimTime> {
         self.stats.messages += 1;
         self.stats.bytes += bytes;
         if src == dst {
-            return depart;
+            return Ok(depart);
         }
-        let route = self.network.route(src, dst);
+        let route = self.network.try_route(src, dst)?;
         let bytes = bytes.max(1);
         let chunk = bytes.min(MTU_BYTES);
 
@@ -201,14 +266,30 @@ impl Fabric {
                 .get(link_id)
                 .copied()
                 .unwrap_or(SimTime::ZERO);
-            let start = head_available.max(free);
+            let mut start = head_available.max(free);
             self.stats.queueing_ns += start.saturating_sub(head_available).as_nanos();
+            if let Some(plan) = &self.faults {
+                // An outage holds the message at the hop until the link
+                // comes back; the wait is attributed to the fault, not
+                // to congestion queueing.
+                if let Some(until) = plan.link_blocked_until(link_id.0, start) {
+                    self.stats.fault_stall_ns += until.saturating_sub(start).as_nanos();
+                    start = start.max(until);
+                }
+            }
             let mut tx = link.spec.transmit_time(bytes);
+            let mut chunk_tx = link.spec.transmit_time(chunk);
+            if let Some(plan) = &self.faults {
+                let factor = plan.link_degrade_factor(link_id.0, start);
+                if factor != 1.0 {
+                    tx = scale_by_inverse(tx, factor);
+                    chunk_tx = scale_by_inverse(chunk_tx, factor);
+                }
+            }
             if retransmit {
                 tx = tx * 2;
                 retransmit = false;
             }
-            let chunk_tx = link.spec.transmit_time(chunk);
             self.link_free.insert(*link_id, start + tx);
             // Head chunk reaches the next node after its own wire time +
             // propagation; the full message lands after tx + propagation.
@@ -218,6 +299,22 @@ impl Fabric {
             // Buffer accounting at the receiving switch.
             let to = link.to;
             if self.network.is_switch(to) {
+                if let Some(plan) = &self.faults {
+                    // A faulted switch eats the message outright. The
+                    // draw comes from the fabric's seeded stream and only
+                    // happens inside an active drop window, so runs
+                    // without fault windows never consume it.
+                    let ordinal = self.switch_ordinals.get(&to).copied().unwrap_or(0);
+                    let p = plan.switch_drop_probability(ordinal, arrival);
+                    if p > 0.0 && self.rng.gen_bool(p) {
+                        self.stats.fault_drops += 1;
+                        return Err(MbError::Dropped {
+                            src: src.0,
+                            dst: dst.0,
+                            at_ns: arrival.as_nanos(),
+                        });
+                    }
+                }
                 if let Some(model) = self.switch_model {
                     if model.hiccup_probability > 0.0
                         && self.rng.gen_bool(model.hiccup_probability)
@@ -249,8 +346,14 @@ impl Fabric {
             }
             let _ = hop;
         }
-        arrival
+        Ok(arrival)
     }
+}
+
+/// Stretches a duration by `1 / factor` (fault path only: the zero-fault
+/// path never round-trips times through floats).
+fn scale_by_inverse(t: SimTime, factor: f64) -> SimTime {
+    SimTime::from_nanos((t.as_nanos() as f64 / factor).round() as u64)
 }
 
 #[cfg(test)]
@@ -374,6 +477,100 @@ mod tests {
         f.reset();
         let b = f.send(h[0], h[1], 1000, SimTime::ZERO);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_fault_try_send_matches_send_bitwise() {
+        use mb_faults::{FaultConfig, FaultPlan};
+        let (mut plain, h) = star(4, Some(SwitchModel::commodity_gbe()));
+        let topo = plain.network().fault_topology(4);
+        let empty = FaultPlan::generate(9, &FaultConfig::none(), &topo);
+        let (faulted, _) = star(4, Some(SwitchModel::commodity_gbe()));
+        let mut faulted = faulted.with_faults(empty);
+        assert!(faulted.fault_plan().is_none(), "empty plans are discarded");
+        for i in 1..4 {
+            let a = plain.send(h[0], h[i], 700_000, SimTime::ZERO);
+            let b = faulted.try_send(h[0], h[i], 700_000, SimTime::ZERO).unwrap();
+            assert_eq!(a, b);
+        }
+        assert_eq!(plain.stats(), faulted.stats());
+    }
+
+    #[test]
+    fn link_down_window_stalls_traffic() {
+        use mb_faults::{Fault, FaultPlan, FaultWindow};
+        let (f, h) = star(2, None);
+        // Host 0's uplink (link 0) is down for [0, 5 ms).
+        let plan = FaultPlan::from_faults(
+            0,
+            vec![Fault::LinkDown {
+                link: 0,
+                window: FaultWindow {
+                    start: SimTime::ZERO,
+                    end: SimTime::from_millis(5),
+                },
+            }],
+        );
+        let mut f = f.with_faults(plan);
+        let t = f.try_send(h[0], h[1], 1500, SimTime::ZERO).unwrap();
+        assert!(t > SimTime::from_millis(5), "stalled past the outage: {t}");
+        assert!(f.stats().fault_stall_ns >= 5_000_000);
+        // The reverse direction (a different directed link) is unaffected.
+        let back = f.try_send(h[1], h[0], 1500, SimTime::ZERO).unwrap();
+        assert!(back < SimTime::from_millis(1), "{back}");
+    }
+
+    #[test]
+    fn degraded_link_transmits_slower() {
+        use mb_faults::{Fault, FaultPlan, FaultWindow};
+        let window = FaultWindow {
+            start: SimTime::ZERO,
+            end: SimTime::from_secs(1),
+        };
+        let (f, h) = star(2, None);
+        // Degrade the delivery hop (link 3 = switch→h[1]); in the
+        // cut-through model the last hop's transmit time governs arrival.
+        let plan = FaultPlan::from_faults(
+            0,
+            vec![Fault::LinkDegrade {
+                link: 3,
+                window,
+                bandwidth_factor: 0.1,
+            }],
+        );
+        let mut degraded = f.with_faults(plan);
+        let slow = degraded.try_send(h[0], h[1], 1_000_000, SimTime::ZERO).unwrap();
+        let (mut clean, h2) = star(2, None);
+        let fast = clean.send(h2[0], h2[1], 1_000_000, SimTime::ZERO);
+        // 1 MB at 10% of GbE on the delivery hop: ~80 ms vs ~8 ms.
+        assert!(
+            slow.as_secs_f64() > 8.0 * fast.as_secs_f64(),
+            "slow {slow} vs fast {fast}"
+        );
+    }
+
+    #[test]
+    fn faulted_switch_drops_messages() {
+        use mb_faults::{Fault, FaultPlan, FaultWindow};
+        let (f, h) = star(2, None);
+        let plan = FaultPlan::from_faults(
+            0,
+            vec![Fault::SwitchDrop {
+                switch: 0,
+                window: FaultWindow {
+                    start: SimTime::ZERO,
+                    end: SimTime::from_secs(1),
+                },
+                drop_probability: 1.0,
+            }],
+        );
+        let mut f = f.with_faults(plan);
+        let err = f.try_send(h[0], h[1], 1500, SimTime::ZERO).unwrap_err();
+        assert!(
+            matches!(err, MbError::Dropped { src: 0.., .. }),
+            "expected Dropped, got {err:?}"
+        );
+        assert_eq!(f.stats().fault_drops, 1);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The network graph: hosts, switches, links and routing.
 
+use mb_simcore::error::{MbError, MbResult};
 use mb_simcore::time::SimTime;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
@@ -195,13 +196,27 @@ impl Network {
     ///
     /// # Panics
     ///
-    /// Panics if no path exists.
+    /// Panics if no path exists; use [`Network::try_route`] when a
+    /// missing path is a recoverable condition.
     pub fn route(&mut self, src: NodeId, dst: NodeId) -> Vec<LinkId> {
+        match self.try_route(src, dst) {
+            Ok(path) => path,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`Network::route`] returning a typed error instead of panicking
+    /// when the nodes are disconnected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MbError::NoRoute`] if no path exists.
+    pub fn try_route(&mut self, src: NodeId, dst: NodeId) -> MbResult<Vec<LinkId>> {
         if src == dst {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         if let Some(r) = self.route_cache.get(&(src, dst)) {
-            return r.clone();
+            return Ok(r.clone());
         }
         let n = self.kinds.len();
         let mut prev: Vec<Option<(NodeId, LinkId)>> = vec![None; n];
@@ -221,7 +236,12 @@ impl Network {
                 }
             }
         }
-        assert!(visited[dst.0 as usize], "no route from {src:?} to {dst:?}");
+        if !visited[dst.0 as usize] {
+            return Err(MbError::NoRoute {
+                src: src.0,
+                dst: dst.0,
+            });
+        }
         let mut path = Vec::new();
         let mut cur = dst;
         while cur != src {
@@ -231,7 +251,19 @@ impl Network {
         }
         path.reverse();
         self.route_cache.insert((src, dst), path.clone());
-        path
+        Ok(path)
+    }
+
+    /// Summary of this network's addressable elements for
+    /// [`mb_faults::FaultPlan::generate`]; the caller supplies the MPI
+    /// rank count, which the network does not know.
+    pub fn fault_topology(&self, ranks: u32) -> mb_faults::Topology {
+        mb_faults::Topology {
+            links: self.links.len() as u32,
+            switches: self.switches.len() as u32,
+            hosts: self.hosts.len() as u32,
+            ranks,
+        }
     }
 }
 
@@ -322,6 +354,32 @@ mod tests {
         let a = net.add_host();
         let b = net.add_host();
         let _ = net.route(a, b);
+    }
+
+    #[test]
+    fn try_route_reports_disconnection_as_a_value() {
+        let mut net = Network::new();
+        let a = net.add_host();
+        let b = net.add_host();
+        assert_eq!(
+            net.try_route(a, b),
+            Err(MbError::NoRoute { src: a.0, dst: b.0 })
+        );
+        // Connected pairs still route.
+        let sw = net.add_switch();
+        net.connect(a, sw, LinkSpec::gigabit_ethernet());
+        net.connect(b, sw, LinkSpec::gigabit_ethernet());
+        assert_eq!(net.try_route(a, b).map(|r| r.len()), Ok(2));
+    }
+
+    #[test]
+    fn fault_topology_counts_elements() {
+        let (net, _, _) = star(4);
+        let topo = net.fault_topology(8);
+        assert_eq!(topo.links, 8, "4 full-duplex host links");
+        assert_eq!(topo.switches, 1);
+        assert_eq!(topo.hosts, 4);
+        assert_eq!(topo.ranks, 8);
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! The workspace error taxonomy.
+//!
+//! Library crates must not abort an experiment over a *recoverable*
+//! condition — a dropped message, a crashed rank, a missing route, a
+//! poisoned sweep task. Those are modelling inputs (the paper's clusters
+//! failed in exactly these ways), so they surface as typed [`MbError`]
+//! values that the resilience machinery (`mb-mpi` retries, `mb-cluster`
+//! degraded runs, `mb_simcore::par` checkpoints) can act on. Panics
+//! remain reserved for *contract violations*: out-of-range ranks,
+//! malformed configurations a caller could have checked, broken internal
+//! invariants.
+//!
+//! The taxonomy is deliberately small and flat: every variant names the
+//! entities involved with plain integers (ranks, node ids, attempt
+//! counts) so the type stays `Clone + Eq` and usable in digests and
+//! tests without any allocation games.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Workspace-wide result alias.
+pub type MbResult<T> = Result<T, MbError>;
+
+/// A recoverable failure anywhere in the simulation stack.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MbError {
+    /// No path between two network nodes.
+    NoRoute {
+        /// Source node id.
+        src: u32,
+        /// Destination node id.
+        dst: u32,
+    },
+    /// A message was dropped in flight by an injected fault; the carrier
+    /// reports when the drop was detected so the sender can back off.
+    Dropped {
+        /// Sending node id.
+        src: u32,
+        /// Destination node id.
+        dst: u32,
+        /// Simulated time of the drop, in nanoseconds.
+        at_ns: u64,
+    },
+    /// Retransmissions were exhausted without a delivery.
+    Timeout {
+        /// Sending rank.
+        src: u32,
+        /// Destination rank.
+        dst: u32,
+        /// Send attempts made (1 initial + retries).
+        attempts: u32,
+    },
+    /// The peer rank crashed before (or during) the operation.
+    RankCrashed {
+        /// The crashed rank.
+        rank: u32,
+    },
+    /// A configuration the caller handed in cannot be run.
+    InvalidConfig {
+        /// Human-readable description of what is wrong.
+        what: String,
+    },
+    /// A contained sweep task panicked (see `mb_simcore::par`).
+    TaskFailed {
+        /// The failing task's label.
+        label: String,
+        /// Best-effort panic payload text.
+        message: String,
+    },
+}
+
+impl fmt::Display for MbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MbError::NoRoute { src, dst } => {
+                write!(f, "no route from node {src} to node {dst}")
+            }
+            MbError::Dropped { src, dst, at_ns } => {
+                write!(f, "message {src}->{dst} dropped at {at_ns} ns")
+            }
+            MbError::Timeout { src, dst, attempts } => {
+                write!(f, "rank {src} timed out sending to rank {dst} after {attempts} attempts")
+            }
+            MbError::RankCrashed { rank } => write!(f, "rank {rank} crashed"),
+            MbError::InvalidConfig { what } => f.write_str(what),
+            MbError::TaskFailed { label, message } => {
+                write!(f, "sweep task '{label}' panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_entities() {
+        let e = MbError::Timeout {
+            src: 3,
+            dst: 7,
+            attempts: 5,
+        };
+        let s = e.to_string();
+        assert!(s.contains("rank 3") && s.contains("rank 7") && s.contains("5 attempts"));
+        assert!(MbError::RankCrashed { rank: 12 }.to_string().contains("rank 12"));
+        assert!(MbError::NoRoute { src: 1, dst: 2 }.to_string().contains("no route"));
+    }
+
+    #[test]
+    fn invalid_config_passes_text_through() {
+        let e = MbError::InvalidConfig {
+            what: "fabric has 2 hosts, 8 needed".to_string(),
+        };
+        assert_eq!(e.to_string(), "fabric has 2 hosts, 8 needed");
+    }
+
+    #[test]
+    fn errors_are_comparable_and_cloneable() {
+        let a = MbError::Dropped {
+            src: 0,
+            dst: 1,
+            at_ns: 99,
+        };
+        assert_eq!(a.clone(), a);
+        assert_ne!(
+            a,
+            MbError::Dropped {
+                src: 0,
+                dst: 1,
+                at_ns: 100
+            }
+        );
+    }
+}

@@ -15,6 +15,9 @@
 //! * [`stats`] — online statistics (Welford), confidence intervals,
 //!   histograms, percentiles and least-squares fits used by the analysis
 //!   and reporting layers.
+//! * [`error`] — the typed [`MbError`] taxonomy for *recoverable*
+//!   failures (dropped messages, timeouts, crashed ranks) so library
+//!   crates reserve panics for genuine contract violations.
 //! * [`par`] — deterministic parallel sweep execution: scoped worker
 //!   pools whose results are bit-identical to a serial run, because every
 //!   task's RNG seed is pre-derived from the experiment seed and results
@@ -37,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod event;
 pub mod par;
 pub mod plan;
@@ -44,6 +48,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use error::{MbError, MbResult};
 pub use event::{Engine, EventQueue, Model, Schedule};
 pub use par::TaskCtx;
 pub use plan::MeasurementPlan;

@@ -45,6 +45,7 @@
 //! assert_eq!(squares, serial);
 //! ```
 
+use crate::error::MbError;
 use crate::rng::{Rng, SplitMix64};
 use parking_lot::Mutex;
 use std::cell::Cell;
@@ -293,6 +294,230 @@ where
         .collect()
 }
 
+/// [`sweep_labeled`] with *per-task panic containment*: a panicking task
+/// is caught and reported as [`MbError::TaskFailed`] in its own slot
+/// instead of aborting the whole sweep. Every other task still runs, so
+/// a 2 100-point sweep with one poisoned measurement yields 2 099
+/// results plus one typed failure.
+///
+/// This is the entry point for fault-tolerant experiment drivers
+/// (`mb-cluster` degraded scaling runs); [`sweep_labeled`] remains the
+/// fail-fast default for experiments where any panic is a bug.
+///
+/// Determinism contract is unchanged: slot *i* sees the same
+/// `(index, seed, item)` binding at any worker count, and whether a task
+/// panics depends only on its own inputs — so the full `Vec<Result>` is
+/// bit-identical between serial, parallel and chaos schedules.
+pub fn sweep_contained<T, R, F>(
+    experiment_seed: u64,
+    tasks: Vec<(String, T)>,
+    f: F,
+) -> Vec<Result<R, MbError>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(TaskCtx, T) -> R + Sync,
+{
+    let seeds = derive_seeds(experiment_seed, tasks.len());
+    let jobs = tasks
+        .into_iter()
+        .zip(seeds)
+        .enumerate()
+        .map(|(index, ((label, item), seed))| (TaskCtx { index, seed }, label, item))
+        .collect();
+    run_contained(jobs, &f)
+}
+
+/// Shared contained-execution engine: runs every job (with its
+/// precomputed [`TaskCtx`]) to completion regardless of failures,
+/// returning results positionally. Used by [`sweep_contained`] and by
+/// [`Checkpoint::resume`], which feeds it only the missing slots while
+/// preserving the original `(index, seed)` bindings.
+fn run_contained<T, R, F>(jobs: Vec<(TaskCtx, String, T)>, f: &F) -> Vec<Result<R, MbError>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(TaskCtx, T) -> R + Sync,
+{
+    let n = jobs.len();
+    let workers = thread_count().min(n.max(1));
+
+    let contain = |ctx: TaskCtx, label: String, item: T| -> Result<R, MbError> {
+        std::panic::catch_unwind(AssertUnwindSafe(|| f(ctx, item))).map_err(|payload| {
+            MbError::TaskFailed {
+                label,
+                message: panic_text(payload.as_ref()),
+            }
+        })
+    };
+
+    if workers <= 1 {
+        return jobs
+            .into_iter()
+            .map(|(ctx, label, item)| contain(ctx, label, item))
+            .collect();
+    }
+
+    let slots: Vec<Mutex<Option<(TaskCtx, String, T)>>> =
+        jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let results: Vec<Mutex<Option<Result<R, MbError>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let chaos = chaos_seed();
+
+    crossbeam::thread::scope(|scope| {
+        for worker in 0..workers {
+            let mut chaos_rng = chaos
+                .map(|c| SplitMix64::new(c ^ (worker as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+            let (slots, results) = (&slots, &results);
+            let (next, contain) = (&next, &contain);
+            scope.spawn(move || loop {
+                if let Some(rng) = chaos_rng.as_mut() {
+                    for _ in 0..rng.next_u64() % 4 {
+                        std::thread::yield_now();
+                    }
+                }
+                let pos = next.fetch_add(1, Ordering::Relaxed);
+                if pos >= n {
+                    break;
+                }
+                let (ctx, label, item) = slots[pos]
+                    .lock()
+                    .take()
+                    .expect("each task index is claimed exactly once");
+                *results[pos].lock() = Some(contain(ctx, label, item));
+            });
+        }
+    })
+    .expect("sweep workers neither panic nor detach");
+
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("every claimed task stored a result"))
+        .collect()
+}
+
+/// A partially completed sweep that can be resumed.
+///
+/// Produced by [`sweep_checkpoint`]. Completed slots hold their results;
+/// failed slots hold the [`MbError::TaskFailed`] that poisoned them.
+/// [`Checkpoint::resume`] reruns *only* the failed slots with their
+/// original `(index, seed)` bindings — the SplitMix64 stream is
+/// re-derived from the stored experiment seed — so a resumed sweep is
+/// bit-identical to one that never failed (assuming the retried tasks
+/// now succeed).
+#[derive(Debug)]
+pub struct Checkpoint<R> {
+    experiment_seed: u64,
+    slots: Vec<Result<R, MbError>>,
+}
+
+impl<R: Send> Checkpoint<R> {
+    /// Experiment seed the sweep (and any resume) derives task seeds from.
+    pub fn experiment_seed(&self) -> u64 {
+        self.experiment_seed
+    }
+
+    /// Indices of slots still missing a successful result, ascending.
+    pub fn missing(&self) -> Vec<usize> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.is_err().then_some(i))
+            .collect()
+    }
+
+    /// True when every slot completed successfully.
+    pub fn is_complete(&self) -> bool {
+        self.slots.iter().all(|r| r.is_ok())
+    }
+
+    /// The failures currently poisoning the checkpoint, as
+    /// `(slot index, error)` pairs in ascending slot order.
+    pub fn failures(&self) -> Vec<(usize, &MbError)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().err().map(|e| (i, e)))
+            .collect()
+    }
+
+    /// Reruns only the failed slots against a fresh copy of the full
+    /// task list (same ordering as the original sweep). Tasks whose
+    /// slots already completed are dropped untouched; retried tasks see
+    /// their original `TaskCtx` so results are position-for-position
+    /// identical to a clean run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tasks.len()` differs from the checkpoint width — that
+    /// means the caller re-supplied a different sweep.
+    pub fn resume<T, F>(&mut self, tasks: Vec<(String, T)>, f: F)
+    where
+        T: Send,
+        F: Fn(TaskCtx, T) -> R + Sync,
+    {
+        assert_eq!(
+            tasks.len(),
+            self.slots.len(),
+            "resume requires the original task list ({} tasks, got {})",
+            self.slots.len(),
+            tasks.len()
+        );
+        let seeds = derive_seeds(self.experiment_seed, tasks.len());
+        let jobs: Vec<(TaskCtx, String, T)> = tasks
+            .into_iter()
+            .zip(seeds)
+            .enumerate()
+            .filter(|(index, _)| self.slots[*index].is_err())
+            .map(|(index, ((label, item), seed))| (TaskCtx { index, seed }, label, item))
+            .collect();
+        let indices: Vec<usize> = jobs.iter().map(|(ctx, _, _)| ctx.index).collect();
+        let rerun = run_contained(jobs, &f);
+        for (slot, result) in indices.into_iter().zip(rerun) {
+            self.slots[slot] = result;
+        }
+    }
+
+    /// Consumes the checkpoint: all results in input order if complete,
+    /// otherwise the first failure.
+    ///
+    /// # Errors
+    ///
+    /// Returns the lowest-indexed [`MbError::TaskFailed`] still
+    /// poisoning the sweep.
+    pub fn into_results(self) -> Result<Vec<R>, MbError> {
+        let mut out = Vec::with_capacity(self.slots.len());
+        for slot in self.slots {
+            out.push(slot?);
+        }
+        Ok(out)
+    }
+
+    /// Consumes the checkpoint into the raw per-slot results.
+    pub fn into_slots(self) -> Vec<Result<R, MbError>> {
+        self.slots
+    }
+}
+
+/// Runs a contained sweep (see [`sweep_contained`]) and wraps the
+/// outcome in a resumable [`Checkpoint`].
+pub fn sweep_checkpoint<T, R, F>(
+    experiment_seed: u64,
+    tasks: Vec<(String, T)>,
+    f: F,
+) -> Checkpoint<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(TaskCtx, T) -> R + Sync,
+{
+    Checkpoint {
+        experiment_seed,
+        slots: sweep_contained(experiment_seed, tasks, f),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -388,6 +613,110 @@ mod tests {
             "wrong panic: {}",
             panic_text(payload.as_ref())
         );
+    }
+
+    #[test]
+    fn contained_sweep_survives_poisoned_tasks() {
+        let tasks: Vec<(String, i32)> = (0..16).map(|i| (format!("pt-{i}"), i)).collect();
+        let out = with_threads(4, || {
+            sweep_contained(3, tasks, |_, i| {
+                if i % 5 == 2 {
+                    panic!("poisoned {i}");
+                }
+                i * 10
+            })
+        });
+        assert_eq!(out.len(), 16);
+        for (i, slot) in out.iter().enumerate() {
+            if i % 5 == 2 {
+                match slot {
+                    Err(MbError::TaskFailed { label, message }) => {
+                        assert_eq!(label, &format!("pt-{i}"));
+                        assert!(message.contains(&format!("poisoned {i}")));
+                    }
+                    other => panic!("slot {i}: expected TaskFailed, got {other:?}"),
+                }
+            } else {
+                assert_eq!(slot.as_ref().unwrap(), &(i as i32 * 10));
+            }
+        }
+    }
+
+    #[test]
+    fn contained_sweep_matches_serial_bitwise() {
+        let work = |ctx: TaskCtx, x: u64| {
+            if x == 13 {
+                panic!("unlucky");
+            }
+            let mut rng = SplitMix64::new(ctx.seed);
+            rng.next_u64() ^ x
+        };
+        let tasks = || (0..40u64).map(|i| (format!("t{i}"), i)).collect::<Vec<_>>();
+        let ser = with_threads(1, || sweep_contained(11, tasks(), work));
+        let par = with_threads(6, || sweep_contained(11, tasks(), work));
+        let chaos = with_chaos(0xBAD5EED, || {
+            with_threads(6, || sweep_contained(11, tasks(), work))
+        });
+        assert_eq!(ser, par);
+        assert_eq!(ser, chaos);
+    }
+
+    #[test]
+    fn checkpoint_resumes_only_failed_slots() {
+        use std::sync::atomic::AtomicUsize;
+        let tasks = || (0..12u64).map(|i| (format!("cp-{i}"), i)).collect::<Vec<_>>();
+        // First pass: even slots fail.
+        let mut cp = sweep_checkpoint(0xCAFE, tasks(), |ctx, x| {
+            if x % 2 == 0 {
+                panic!("transient");
+            }
+            ctx.seed ^ x
+        });
+        assert!(!cp.is_complete());
+        assert_eq!(cp.missing(), vec![0, 2, 4, 6, 8, 10]);
+        assert_eq!(cp.failures().len(), 6);
+        assert_eq!(cp.experiment_seed(), 0xCAFE);
+
+        // Resume: the flake is gone; only the 6 missing slots rerun.
+        let reruns = AtomicUsize::new(0);
+        cp.resume(tasks(), |ctx, x| {
+            reruns.fetch_add(1, Ordering::Relaxed);
+            ctx.seed ^ x
+        });
+        assert_eq!(reruns.load(Ordering::Relaxed), 6);
+        assert!(cp.is_complete());
+
+        // The healed sweep is bit-identical to one that never failed.
+        let clean = sweep(0xCAFE, (0..12u64).collect(), |ctx, x| ctx.seed ^ x);
+        assert_eq!(cp.into_results().unwrap(), clean);
+    }
+
+    #[test]
+    fn checkpoint_into_results_surfaces_first_failure() {
+        let cp = sweep_checkpoint(
+            1,
+            vec![("ok".to_string(), 0u32), ("boom".to_string(), 1u32)],
+            |_, x| {
+                if x == 1 {
+                    panic!("kaput");
+                }
+                x
+            },
+        );
+        match cp.into_results() {
+            Err(MbError::TaskFailed { label, message }) => {
+                assert_eq!(label, "boom");
+                assert!(message.contains("kaput"));
+            }
+            other => panic!("expected TaskFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "resume requires the original task list")]
+    fn checkpoint_rejects_resized_resume() {
+        let mut cp = sweep_checkpoint(2, vec![("a".to_string(), 1u8)], |_, x| x);
+        cp.resume(Vec::new(), |_, x: u8| x);
     }
 
     #[test]

@@ -16,6 +16,15 @@ echo "==> mb-check (determinism lints)"
 cargo run --release -p mb-check
 
 echo "==> validate-feature smoke (runtime invariant sanitizer)"
+# Re-asserts every pinned digest — including FIG3_FAULTED_QUICK_DIGEST,
+# the fault-injected Figure 3 run — with the sanitizer compiled in.
+# The normal-build pins run in the test suite above (figure_digests.rs).
 cargo test --release -p montblanc --features validate --test validate_smoke --quiet
+
+echo "==> fault-injection smoke (degraded-but-completed Figure 3)"
+cargo run --release -p mb-bench --bin fault_ablation -- --quick
+
+echo "==> perfsuite (healthy-path check: no faults planned, no overhead, bit-identical)"
+cargo run --release -p mb-bench --bin perfsuite -- --quick
 
 echo "CI green."
