@@ -18,6 +18,11 @@
 //! Pass `--quick` to any binary to run the reduced test-sized
 //! configuration instead of the full paper grid.
 //!
+//! `campaign_resume` is a diagnostic rather than a figure: it times
+//! every pinned `mb-lab` campaign cold, resumed from a half-complete
+//! journal, and as a pure journal replay, re-verifying each digest
+//! against the registry pins.
+//!
 //! The Criterion benches (`cargo bench -p mb-bench`) time the *real*
 //! Rust kernels at native speed and the simulators themselves.
 

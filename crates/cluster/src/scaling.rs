@@ -1,6 +1,7 @@
 //! The strong-scaling runner (Figure 3) and traced runs (Figure 4).
 
 use crate::workload::{CommPattern, Workload};
+use mb_energy::{Energy, Power, RetransmissionModel};
 use mb_faults::{FaultConfig, FaultPlan};
 use mb_mpi::comm::{Comm, CommConfig};
 use mb_mpi::resilience::{ResilienceStats, RetryPolicy};
@@ -96,6 +97,24 @@ pub struct ResilientPoint {
     pub surviving_ranks: u32,
 }
 
+impl ResilientPoint {
+    /// Nodes the run occupied (Tibidabo packs two ranks per node).
+    pub fn node_count(&self) -> u32 {
+        self.point.cores.div_ceil(2)
+    }
+
+    /// Energy to solution of this point: every occupied node at
+    /// `node_power` for the (degraded) makespan, plus the
+    /// retransmission surcharge for the retries and timeouts the run
+    /// recorded. The makespan term already prices the *time* cost of
+    /// faults; `retrans` prices the wire activity that time-only
+    /// accounting misses.
+    pub fn energy(&self, node_power: Power, retrans: &RetransmissionModel) -> Energy {
+        let cluster = Power::from_watts(node_power.watts() * f64::from(self.node_count()));
+        cluster.over(self.point.time) + retrans.surcharge(self.stats.retries, self.stats.timeouts)
+    }
+}
+
 /// A degraded-but-completed scaling series: points that finished (with
 /// their resilience counters) plus any points whose task died outright.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -125,6 +144,13 @@ impl ResilientSeries {
     /// Total crashed ranks across all completed points.
     pub fn total_crashes(&self) -> u32 {
         self.points.iter().map(|p| p.stats.crashed_ranks).sum()
+    }
+
+    /// Summed [`ResilientPoint::energy`] over every completed point.
+    pub fn total_energy(&self, node_power: Power, retrans: &RetransmissionModel) -> Energy {
+        self.points
+            .iter()
+            .fold(Energy::default(), |acc, p| acc + p.energy(node_power, retrans))
     }
 }
 
@@ -538,6 +564,48 @@ mod tests {
     }
 
     #[test]
+    fn faulted_energy_charges_retransmissions() {
+        // BigDFT's alltoallv traffic crosses the switch drop windows
+        // reliably even at small core counts, so light faults are
+        // guaranteed to force retries here.
+        let w = Workload::bigdft_tibidabo().with_iterations(4);
+        let counts = [4u32, 16, 36];
+        let node = Power::from_watts(8.5);
+        let retrans = RetransmissionModel::tibidabo_gbe();
+        // Charging no per-event energy reproduces the old time-only
+        // accounting; the ROADMAP gap is exactly the difference.
+        let time_only = RetransmissionModel {
+            per_retry: Energy::default(),
+            per_timeout: Energy::default(),
+        };
+        let faulted = ScalingStudy::new(FabricKind::Tibidabo)
+            .with_faults(FaultConfig::light())
+            .run_resilient(&w, &counts);
+        assert!(faulted.total_retries() > 0, "light faults must retry");
+        let e_with = faulted.total_energy(node, &retrans);
+        let e_without = faulted.total_energy(node, &time_only);
+        let surcharge = retrans.surcharge(
+            faulted.total_retries(),
+            faulted.points.iter().map(|p| p.stats.timeouts).sum(),
+        );
+        assert!(surcharge.joules() > 0.0);
+        assert!(
+            (e_with.joules() - e_without.joules() - surcharge.joules()).abs() < 1e-9,
+            "retransmissions must be charged on top of makespan energy: \
+             {e_with} vs {e_without} (+{surcharge})"
+        );
+        // Zero counters ⇒ the surcharge term vanishes and energy is pure
+        // nameplate-power × makespan × nodes.
+        let clean = ScalingStudy::new(FabricKind::Tibidabo)
+            .with_faults(FaultConfig::none())
+            .run_resilient(&w, &counts);
+        let p0 = &clean.points[0];
+        let expect = Power::from_watts(node.watts() * f64::from(p0.node_count()))
+            .over(p0.point.time);
+        assert_eq!(p0.energy(node, &retrans), expect);
+    }
+
+    #[test]
     fn fault_plan_replays_identically() {
         let study = ScalingStudy::new(FabricKind::Tibidabo).with_faults(FaultConfig::light());
         assert_eq!(study.fault_plan(16), study.fault_plan(16));
@@ -559,3 +627,4 @@ mod tests {
         assert!(s.at(16).expect("ran at 16").point.speedup > 1.0);
     }
 }
+

@@ -11,6 +11,7 @@
 use crate::platform::Platform;
 use mb_cluster::scaling::{FabricKind, ResilientSeries, ScalingSeries, ScalingStudy};
 use mb_cluster::workload::Workload;
+use mb_energy::{Energy, PowerModel, RetransmissionModel};
 use mb_faults::FaultConfig;
 use mb_kernels::specfem::{Specfem, SpecfemConfig};
 use serde::{Deserialize, Serialize};
@@ -167,6 +168,21 @@ impl Fig3FaultReport {
         }
         total
     }
+
+    /// Energy to solution of the whole faulted campaign on Tibidabo:
+    /// every point charges its occupied nodes at the Tegra2 nameplate
+    /// power for its (degraded) makespan, **plus** the retransmission
+    /// surcharge for the retries and timeouts it recorded — closing the
+    /// gap where faulted runs reported time degradation only.
+    pub fn total_energy(&self) -> Energy {
+        let node = PowerModel::tegra2_node().nameplate();
+        let retrans = RetransmissionModel::tibidabo_gbe();
+        [&self.linpack, &self.specfem, &self.bigdft]
+            .into_iter()
+            .fold(Energy::default(), |acc, s| {
+                acc + s.total_energy(node, &retrans)
+            })
+    }
 }
 
 /// Runs Figure 3 on the commodity Tibidabo fabric with a deterministic
@@ -193,6 +209,128 @@ pub fn run_faulted(cfg: &Fig3Config, faults: FaultConfig) -> Fig3FaultReport {
         bigdft: study.run_resilient(&make(Panel::BigDft), &cfg.bigdft_cores),
         core_gflops,
     }
+}
+
+// --- Slot-level campaign API (mb-lab) -----------------------------------
+//
+// A persistent experiment driver cannot hold a half-finished
+// `Fig3Report` across a process restart; it persists *per-slot*
+// measurements and reassembles the report afterwards. These functions
+// expose exactly that decomposition: one slot per (panel, core count)
+// pair, in the canonical panel-major order, with a pure measurement
+// function and a finalizer whose output stream is bit-identical to the
+// values a monolithic [`run`] / [`run_faulted`] produces (the speedup
+// normalisation is the same f64 arithmetic on the same f64 times).
+
+/// The campaign slots of a Figure 3 config, in canonical order:
+/// LINPACK counts, then SPECFEM, then BigDFT.
+pub fn scaling_slots(cfg: &Fig3Config) -> Vec<(Panel, u32)> {
+    let panel = |p: Panel, counts: &[u32]| counts.iter().map(|&c| (p, c)).collect::<Vec<_>>();
+    let mut slots = panel(Panel::Linpack, &cfg.linpack_cores);
+    slots.extend(panel(Panel::Specfem, &cfg.specfem_cores));
+    slots.extend(panel(Panel::BigDft, &cfg.bigdft_cores));
+    slots
+}
+
+/// Human-readable label of one campaign slot.
+pub fn slot_label(panel: Panel, cores: u32) -> String {
+    let name = match panel {
+        Panel::Linpack => "linpack",
+        Panel::Specfem => "specfem",
+        Panel::BigDft => "bigdft",
+    };
+    format!("{name}@{cores}c")
+}
+
+fn slot_workload(panel: Panel, core_gflops: f64, iterations: u32) -> Workload {
+    match panel {
+        Panel::Linpack => Workload::linpack_tibidabo(),
+        Panel::Specfem => Workload::specfem_tibidabo(),
+        Panel::BigDft => Workload::bigdft_tibidabo(),
+    }
+    .with_core_gflops(core_gflops)
+    .with_iterations(iterations)
+}
+
+/// Measures one healthy slot: the simulated makespan, in seconds — a
+/// pure function of `(panel, cores, core_gflops, iterations)`, so any
+/// shard or resumed process reproduces it bit for bit.
+pub fn measure_scaling_slot(cfg: &Fig3Config, panel: Panel, cores: u32, core_gflops: f64) -> f64 {
+    let study = ScalingStudy::new(FabricKind::Tibidabo);
+    let w = slot_workload(panel, core_gflops, cfg.iterations);
+    study.execute(&w, cores, false).0.as_secs_f64()
+}
+
+/// Measures one fault-injected slot under `faults`, returning
+/// `[secs, retries, timeouts, skipped, crashed, surviving]`.
+pub fn measure_faulted_slot(
+    cfg: &Fig3Config,
+    faults: FaultConfig,
+    panel: Panel,
+    cores: u32,
+    core_gflops: f64,
+) -> [f64; 6] {
+    let study = ScalingStudy::new(FabricKind::Tibidabo).with_faults(faults);
+    let w = slot_workload(panel, core_gflops, cfg.iterations);
+    let out = study.execute_outcome(&w, cores, false);
+    [
+        out.time.as_secs_f64(),
+        out.stats.retries as f64,
+        out.stats.timeouts as f64,
+        out.stats.skipped_messages as f64,
+        out.stats.crashed_ranks as f64,
+        f64::from(out.surviving_ranks),
+    ]
+}
+
+/// Per-panel speedup normalisation over slot times (seconds), in slot
+/// order: for each panel, `[speedup, efficiency]` per point — the same
+/// arithmetic `ScalingStudy::run` applies, on the same f64 values.
+fn normalize_panels(cfg: &Fig3Config, times: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(2 * times.len());
+    let mut offset = 0;
+    for counts in [&cfg.linpack_cores, &cfg.specfem_cores, &cfg.bigdft_cores] {
+        let baseline_cores = counts[0];
+        let baseline_time = times[offset];
+        for (i, &cores) in counts.iter().enumerate() {
+            let speedup = baseline_cores as f64 * baseline_time / times[offset + i];
+            out.push(speedup);
+            out.push(speedup / cores as f64);
+        }
+        offset += counts.len();
+    }
+    out
+}
+
+/// Reassembles the canonical healthy-campaign value stream from
+/// per-slot times: `[speedup, efficiency]` per point (panels in slot
+/// order) then `core_gflops` — the exact stream the pinned
+/// `FIG3_QUICK_DIGEST` folds.
+pub fn scaling_stream(cfg: &Fig3Config, core_gflops: f64, times: &[f64]) -> Vec<f64> {
+    assert_eq!(times.len(), scaling_slots(cfg).len(), "one time per slot");
+    let mut out = normalize_panels(cfg, times);
+    out.push(core_gflops);
+    out
+}
+
+/// Reassembles the canonical faulted-campaign value stream from
+/// [`measure_faulted_slot`] payloads: per point `[speedup, efficiency,
+/// retries, timeouts, skipped, crashed, surviving]`, then `core_gflops`
+/// — the exact stream the pinned `FIG3_FAULTED_QUICK_DIGEST` folds.
+/// Requires every slot to have completed (a degraded-but-completed
+/// point is complete; only an outright task death is not).
+pub fn faulted_stream(cfg: &Fig3Config, core_gflops: f64, slots: &[[f64; 6]]) -> Vec<f64> {
+    assert_eq!(slots.len(), scaling_slots(cfg).len(), "one payload per slot");
+    let times: Vec<f64> = slots.iter().map(|s| s[0]).collect();
+    let norms = normalize_panels(cfg, &times);
+    let mut out = Vec::with_capacity(7 * slots.len() + 1);
+    for (i, payload) in slots.iter().enumerate() {
+        out.push(norms[2 * i]);
+        out.push(norms[2 * i + 1]);
+        out.extend_from_slice(&payload[1..]);
+    }
+    out.push(core_gflops);
+    out
 }
 
 #[cfg(test)]
@@ -247,6 +385,87 @@ mod tests {
             }
         }
         assert_eq!(faulted.total_stats(), mb_mpi::ResilienceStats::default());
+    }
+
+    #[test]
+    fn slot_decomposition_is_bit_identical_to_monolithic_run() {
+        let cfg = Fig3Config::quick();
+        let r = run(&cfg);
+        let rate = tegra2_effective_gflops();
+        let times: Vec<f64> = scaling_slots(&cfg)
+            .into_iter()
+            .map(|(panel, cores)| measure_scaling_slot(&cfg, panel, cores, rate))
+            .collect();
+        let stream = scaling_stream(&cfg, rate, &times);
+        let expect: Vec<f64> = [&r.linpack, &r.specfem, &r.bigdft]
+            .into_iter()
+            .flat_map(|s| s.points.iter().flat_map(|p| [p.speedup, p.efficiency]))
+            .chain([r.core_gflops])
+            .collect();
+        assert_eq!(stream.len(), expect.len());
+        for (i, (a, b)) in stream.iter().zip(&expect).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "stream value {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn faulted_slot_decomposition_is_bit_identical() {
+        let cfg = Fig3Config::quick();
+        let r = run_faulted(&cfg, FaultConfig::light());
+        let rate = tegra2_effective_gflops();
+        let slots: Vec<[f64; 6]> = scaling_slots(&cfg)
+            .into_iter()
+            .map(|(panel, cores)| {
+                measure_faulted_slot(&cfg, FaultConfig::light(), panel, cores, rate)
+            })
+            .collect();
+        let stream = faulted_stream(&cfg, rate, &slots);
+        let expect: Vec<f64> = [&r.linpack, &r.specfem, &r.bigdft]
+            .into_iter()
+            .flat_map(|s| {
+                s.points.iter().flat_map(|p| {
+                    [
+                        p.point.speedup,
+                        p.point.efficiency,
+                        p.stats.retries as f64,
+                        p.stats.timeouts as f64,
+                        p.stats.skipped_messages as f64,
+                        p.stats.crashed_ranks as f64,
+                        f64::from(p.surviving_ranks),
+                    ]
+                })
+            })
+            .chain([r.core_gflops])
+            .collect();
+        assert_eq!(stream.len(), expect.len());
+        for (i, (a, b)) in stream.iter().zip(&expect).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "stream value {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn faulted_energy_charges_the_retry_surcharge() {
+        let cfg = Fig3Config::quick();
+        let faulted = run_faulted(&cfg, FaultConfig::light());
+        let stats = faulted.total_stats();
+        assert!(stats.retries > 0, "quick light run must retry");
+        // total_energy = Σ nodes × nameplate × makespan (the time-only
+        // accounting we had before) + the per-event surcharge.
+        let node = PowerModel::tegra2_node().nameplate();
+        let time_only: f64 = [&faulted.linpack, &faulted.specfem, &faulted.bigdft]
+            .into_iter()
+            .flat_map(|s| s.points.iter())
+            .map(|p| node.watts() * f64::from(p.node_count()) * p.point.time.as_secs_f64())
+            .sum();
+        let surcharge = RetransmissionModel::tibidabo_gbe()
+            .surcharge(stats.retries, stats.timeouts)
+            .joules();
+        assert!(surcharge > 0.0);
+        let total = faulted.total_energy().joules();
+        assert!(
+            (total - time_only - surcharge).abs() < 1e-6 * total,
+            "total {total} J != makespan {time_only} J + surcharge {surcharge} J"
+        );
     }
 
     #[test]

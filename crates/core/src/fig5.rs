@@ -153,49 +153,104 @@ impl Fig5Report {
 /// `run_model` resets its executor on entry, so a fresh executor is
 /// bit-identical to the reset-and-reuse of a serial run.
 pub fn run(cfg: &Fig5Config) -> Fig5Report {
-    let platform = Platform::snowball();
-    let plan = MeasurementPlan::full_factorial(&cfg.sizes, cfg.reps, cfg.seed);
-    let anomaly = RtAnomalyModel::new(
-        plan.len(),
-        cfg.degraded_fraction,
-        cfg.slowdown,
-        cfg.seed ^ 0xA,
-    );
-    // §V.A.1: within one run the OS hands the same frames back per size.
-    let mut allocator = PageAllocator::new(PagePolicy::ReuseLast, 4096, 1 << 18, cfg.seed ^ 0xB);
-    let max_size = cfg.sizes.iter().copied().max().expect("non-empty sizes");
-    let data = make_buffer(max_size, cfg.seed);
-
-    let tasks = plan
+    let prelude = Prelude::new(cfg);
+    let tasks = prelude
+        .slots
         .iter()
-        .enumerate()
-        .map(|(seq, m)| {
-            let size = m.level;
-            (
-                format!("seq{seq}-{size}B"),
-                (seq, size, allocator.allocate(size)),
-            )
-        })
+        .map(|&(seq, size, _)| (format!("seq{seq}-{size}B"), seq))
         .collect();
-    let samples = mb_simcore::par::sweep_labeled(cfg.seed, tasks, |_, (seq, size, table)| {
-        let mut exec = platform.exec(1);
-        exec.set_page_table(Some(table));
-        let mb_cfg = MembenchConfig {
-            sweeps: cfg.sweeps,
-            ..MembenchConfig::figure5(size)
-        };
-        let result = run_model(&mb_cfg, &data, &mut exec);
-        Fig5Sample {
-            seq,
-            array_bytes: size,
-            bandwidth_gbps: result.bandwidth_gbps() / anomaly.slowdown_at(seq),
-            degraded: anomaly.is_degraded(seq),
-        }
+    let samples = mb_simcore::par::sweep_labeled(cfg.seed, tasks, |_, seq| {
+        prelude.measure(cfg, seq)
     });
     Fig5Report {
         samples,
         config: cfg.clone(),
     }
+}
+
+/// The stateful, *serially walked* part of the Figure 5 protocol: the
+/// randomised measurement plan, the RT anomaly window and the
+/// order-dependent page allocations, bound to each sequence position.
+/// Recomputing it is cheap and deterministic, which is what lets a
+/// campaign slot (or a shard on another host) reproduce measurement
+/// `seq` bit for bit without running its predecessors.
+struct Prelude {
+    platform: Platform,
+    anomaly: RtAnomalyModel,
+    data: Vec<u8>,
+    /// `(seq, array_bytes, page_table)` per measurement, in order.
+    slots: Vec<(usize, usize, mb_mem::pages::PageTable)>,
+}
+
+impl Prelude {
+    fn new(cfg: &Fig5Config) -> Self {
+        let plan = MeasurementPlan::full_factorial(&cfg.sizes, cfg.reps, cfg.seed);
+        let anomaly = RtAnomalyModel::new(
+            plan.len(),
+            cfg.degraded_fraction,
+            cfg.slowdown,
+            cfg.seed ^ 0xA,
+        );
+        // §V.A.1: within one run the OS hands the same frames back per
+        // size; `ReuseLast` makes table `seq` a function of allocation
+        // order, so the walk below must stay serial.
+        let mut allocator =
+            PageAllocator::new(PagePolicy::ReuseLast, 4096, 1 << 18, cfg.seed ^ 0xB);
+        let max_size = cfg.sizes.iter().copied().max().expect("non-empty sizes");
+        let data = make_buffer(max_size, cfg.seed);
+        let slots = plan
+            .iter()
+            .enumerate()
+            .map(|(seq, m)| (seq, m.level, allocator.allocate(m.level)))
+            .collect();
+        Prelude {
+            platform: Platform::snowball(),
+            anomaly,
+            data,
+            slots,
+        }
+    }
+
+    fn measure(&self, cfg: &Fig5Config, seq: usize) -> Fig5Sample {
+        let (_, size, ref table) = self.slots[seq];
+        let mut exec = self.platform.exec(1);
+        exec.set_page_table(Some(table.clone()));
+        let mb_cfg = MembenchConfig {
+            sweeps: cfg.sweeps,
+            ..MembenchConfig::figure5(size)
+        };
+        let result = run_model(&mb_cfg, &self.data, &mut exec);
+        Fig5Sample {
+            seq,
+            array_bytes: size,
+            bandwidth_gbps: result.bandwidth_gbps() / self.anomaly.slowdown_at(seq),
+            degraded: self.anomaly.is_degraded(seq),
+        }
+    }
+}
+
+/// Number of campaign slots (measurements) a config produces.
+pub fn slot_count(cfg: &Fig5Config) -> usize {
+    cfg.sizes.len() * cfg.reps as usize
+}
+
+/// Human-readable label of campaign slot `seq`.
+pub fn slot_label(cfg: &Fig5Config, seq: usize) -> String {
+    let plan = MeasurementPlan::full_factorial(&cfg.sizes, cfg.reps, cfg.seed);
+    let size = plan
+        .iter()
+        .map(|m| m.level)
+        .nth(seq)
+        .expect("seq in range");
+    format!("seq{seq}-{size}B")
+}
+
+/// Measures campaign slot `seq` alone: replays the serial prelude
+/// (plan, anomaly window, allocation order) and runs the one
+/// measurement — bit-identical to the sample a monolithic [`run`]
+/// produces at that sequence position.
+pub fn measure_slot(cfg: &Fig5Config, seq: usize) -> f64 {
+    Prelude::new(cfg).measure(cfg, seq).bandwidth_gbps
 }
 
 #[cfg(test)]
@@ -249,6 +304,23 @@ mod tests {
             small > large,
             "bandwidth should fall past 32 KB: {small} vs {large}"
         );
+    }
+
+    #[test]
+    fn slot_decomposition_is_bit_identical_to_monolithic_run() {
+        let cfg = Fig5Config::quick();
+        let r = run(&cfg);
+        assert_eq!(r.samples.len(), slot_count(&cfg));
+        // Spot-check a spread of slots, including both anomaly modes.
+        for seq in [0, 1, 7, slot_count(&cfg) / 2, slot_count(&cfg) - 1] {
+            let lone = measure_slot(&cfg, seq);
+            assert_eq!(
+                lone.to_bits(),
+                r.samples[seq].bandwidth_gbps.to_bits(),
+                "slot {seq} diverged from the monolithic run"
+            );
+            assert!(slot_label(&cfg, seq).starts_with(&format!("seq{seq}-")));
+        }
     }
 
     #[test]

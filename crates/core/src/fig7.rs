@@ -165,6 +165,46 @@ pub fn run(cfg: &Fig7Config) -> Fig7Report {
     }
 }
 
+/// Number of campaign slots: one per `(machine, unroll)` variant,
+/// Nehalem first (slots `0..max_unroll`), then Tegra2.
+pub fn slot_count(cfg: &Fig7Config) -> usize {
+    2 * cfg.max_unroll as usize
+}
+
+fn slot_machine(cfg: &Fig7Config, slot: usize) -> (Platform, u32) {
+    let unroll = (slot % cfg.max_unroll as usize) as u32 + 1;
+    let platform = if slot < cfg.max_unroll as usize {
+        Platform::xeon_x5550()
+    } else {
+        Platform::tegra2_node()
+    };
+    (platform, unroll)
+}
+
+/// Human-readable label of campaign slot `slot`, e.g. `"nehalem-u9"`.
+pub fn slot_label(cfg: &Fig7Config, slot: usize) -> String {
+    let machine = if slot < cfg.max_unroll as usize {
+        "nehalem"
+    } else {
+        "tegra2"
+    };
+    let unroll = (slot % cfg.max_unroll as usize) + 1;
+    format!("{machine}-u{unroll}")
+}
+
+/// Measures campaign slot `slot` alone and returns
+/// `[cycles, cache_accesses]` as f64 — the exact pair the monolithic
+/// [`run`] contributes to the digest stream at that position (slot
+/// order *is* digest order: Nehalem's points then Tegra2's).
+pub fn measure_slot(cfg: &Fig7Config, slot: usize) -> [f64; 2] {
+    let (platform, unroll) = slot_machine(cfg, slot);
+    let e = cfg.grid_edge;
+    let grid = Grid3::random(e, e, e, 0xF167);
+    let mut exec = platform.exec(1);
+    let point = measure_variant(&grid, unroll, &mut exec);
+    [point.cycles as f64, point.cache_accesses as f64]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,5 +281,28 @@ mod tests {
     #[test]
     fn deterministic() {
         assert_eq!(report(), report());
+    }
+
+    #[test]
+    fn slot_decomposition_is_bit_identical_to_monolithic_run() {
+        let cfg = Fig7Config::quick();
+        let r = run(&cfg);
+        let points: Vec<&Fig7Point> = r
+            .nehalem
+            .points
+            .iter()
+            .chain(r.tegra2.points.iter())
+            .collect();
+        assert_eq!(points.len(), slot_count(&cfg));
+        for slot in [0, 1, 11, 12, 16, 23] {
+            let [cycles, accesses] = measure_slot(&cfg, slot);
+            assert_eq!(cycles as u64, points[slot].cycles, "slot {slot} cycles");
+            assert_eq!(
+                accesses as u64, points[slot].cache_accesses,
+                "slot {slot} accesses"
+            );
+        }
+        assert_eq!(slot_label(&cfg, 8), "nehalem-u9");
+        assert_eq!(slot_label(&cfg, 16), "tegra2-u5");
     }
 }

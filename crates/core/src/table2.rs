@@ -316,6 +316,66 @@ pub fn run_extended(cfg: &Table2Config) -> Table2Report {
     report
 }
 
+fn extended_specs() -> Vec<RowSpec> {
+    PAPER_ROWS
+        .iter()
+        .chain(EXTENSION_ROWS.iter())
+        .copied()
+        .collect()
+}
+
+/// Number of campaign cells in the extended table: one per
+/// `(row, machine)` pair, rows in [`run_extended`] order, Snowball
+/// before Xeon within a row.
+pub fn extended_cell_count() -> usize {
+    2 * (PAPER_ROWS.len() + EXTENSION_ROWS.len())
+}
+
+/// Human-readable label of campaign cell `idx`, e.g. `"CoreMark/xeon"`.
+pub fn cell_label(idx: usize) -> String {
+    let (name, ..) = extended_specs()[idx / 2];
+    let machine = if idx.is_multiple_of(2) { "snowball" } else { "xeon" };
+    format!("{name}/{machine}")
+}
+
+/// Measures campaign cell `idx` alone — bit-identical to the value the
+/// monolithic [`run_extended`] sweep computes for that cell, since
+/// every kernel runner builds its own executor.
+pub fn measure_cell(cfg: &Table2Config, idx: usize) -> f64 {
+    let (.., runner) = extended_specs()[idx / 2];
+    let platform = if idx.is_multiple_of(2) {
+        Platform::snowball()
+    } else {
+        Platform::xeon_x5550()
+    };
+    runner(cfg, &platform)
+}
+
+/// Reduces raw cell values (in [`measure_cell`] order) to the digest
+/// stream of the extended table: per row `[snowball, xeon, ratio,
+/// energy_ratio]`, with the same f64 arithmetic as the monolithic
+/// sweep's row assembly.
+pub fn extended_stream(cells: &[f64]) -> Vec<f64> {
+    let specs = extended_specs();
+    assert_eq!(
+        cells.len(),
+        2 * specs.len(),
+        "extended_stream needs one value per cell"
+    );
+    let p_snow = Platform::snowball().power.nameplate();
+    let p_xeon = Platform::xeon_x5550().power.nameplate();
+    specs
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &(_, _, higher_is_better, _))| {
+            let s = cells[2 * i];
+            let x = cells[2 * i + 1];
+            let ratio = if higher_is_better { x / s } else { s / x };
+            [s, x, ratio, energy_ratio(ratio, p_snow, p_xeon)]
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -416,6 +476,29 @@ mod tests {
         let a = report();
         let b = report();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cell_decomposition_is_bit_identical_to_monolithic_run() {
+        let cfg = Table2Config::quick();
+        let r = run_extended(&cfg);
+        assert_eq!(extended_cell_count(), 14);
+        let cells: Vec<f64> = (0..extended_cell_count())
+            .map(|idx| measure_cell(&cfg, idx))
+            .collect();
+        let stream = extended_stream(&cells);
+        let expected: Vec<f64> = r
+            .rows
+            .iter()
+            .flat_map(|row| [row.snowball, row.xeon, row.ratio, row.energy_ratio])
+            .collect();
+        assert_eq!(stream.len(), expected.len());
+        for (i, (a, b)) in stream.iter().zip(&expected).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "stream value {i} diverged");
+        }
+        assert_eq!(cell_label(0), "LINPACK/snowball");
+        assert_eq!(cell_label(3), "CoreMark/xeon");
+        assert_eq!(cell_label(13), "LINPACK (unblocked dgefa)/xeon");
     }
 
     #[test]

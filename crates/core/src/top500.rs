@@ -119,6 +119,38 @@ pub fn required_improvement_factor() -> f64 {
     needed / 2.0
 }
 
+/// The three Figure 1 series in campaign-slot order.
+pub fn all_series() -> [Series; 3] {
+    [Series::First, Series::Last, Series::Sum]
+}
+
+/// Short slot label of a series.
+pub fn series_label(series: Series) -> &'static str {
+    match series {
+        Series::First => "first",
+        Series::Last => "last",
+        Series::Sum => "sum",
+    }
+}
+
+/// Flattens a trend report into its digest stream:
+/// `[slope, intercept, r2, doubling_time_years, exaflop_year]`.
+pub fn trend_stream(report: &TrendReport) -> Vec<f64> {
+    vec![
+        report.fit.slope,
+        report.fit.intercept,
+        report.fit.r2,
+        report.doubling_time_years,
+        report.exaflop_year,
+    ]
+}
+
+/// Measures one campaign slot: fits the given series over the full
+/// history and returns its [`trend_stream`].
+pub fn measure_series(series: Series) -> Vec<f64> {
+    trend_stream(&fit_trend(&history(), series))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,5 +199,17 @@ mod tests {
     #[test]
     fn factor_25_improvement_needed() {
         assert!((required_improvement_factor() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slot_decomposition_is_bit_identical_to_direct_fits() {
+        for series in all_series() {
+            let direct = trend_stream(&fit_trend(&history(), series));
+            let slot = measure_series(series);
+            assert_eq!(slot.len(), 5);
+            for (a, b) in slot.iter().zip(&direct) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{}", series_label(series));
+            }
+        }
     }
 }

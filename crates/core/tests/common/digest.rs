@@ -54,6 +54,18 @@ pub fn fig3_faulted_quick() -> u64 {
     )
 }
 
+/// Energy to solution of the fault-injected Figure 3 quick run, in
+/// joules: nameplate node power over every point's degraded makespan
+/// **plus** the retransmission surcharge for its retry/timeout
+/// counters. Pinned as a single `f64` bit pattern — any drift in the
+/// fault pipeline, the power model or the surcharge accounting moves
+/// it.
+pub fn fig3_faulted_quick_joules() -> f64 {
+    fig3::run_faulted(&fig3::Fig3Config::quick(), FaultConfig::light())
+        .total_energy()
+        .joules()
+}
+
 /// Digest of Figure 5 quick-config output (every bandwidth sample).
 pub fn fig5_quick() -> u64 {
     let r = fig5::run(&fig5::Fig5Config::quick());
@@ -93,3 +105,7 @@ pub const FIG7_QUICK_DIGEST: u64 = 0xa5a1_d292_2006_e451;
 pub const TABLE2_QUICK_DIGEST: u64 = 0xe2a5_d2bf_61fb_fbcf;
 /// Pinned digest of [`fig3_faulted_quick`].
 pub const FIG3_FAULTED_QUICK_DIGEST: u64 = 0x8ce8_a81a_59cb_2163;
+/// Pinned bit pattern of [`fig3_faulted_quick_joules`] — the faulted
+/// campaign's energy to solution including retransmissions
+/// (≈ 150 115.41 J for the quick grids under light faults).
+pub const FIG3_FAULTED_QUICK_JOULES_BITS: u64 = 0x4102_531b_4c71_b00a;

@@ -48,6 +48,18 @@ fn fig3_faulted_quick_output_is_pinned() {
 }
 
 #[test]
+fn fig3_faulted_quick_energy_is_pinned() {
+    assert_eq!(
+        digest::fig3_faulted_quick_joules().to_bits(),
+        digest::FIG3_FAULTED_QUICK_JOULES_BITS,
+        "faulted Figure 3 energy to solution ({} J) changed bit-identity; \
+         if intentional, re-pin FIG3_FAULTED_QUICK_JOULES_BITS in \
+         tests/common/digest.rs",
+        digest::fig3_faulted_quick_joules()
+    );
+}
+
+#[test]
 fn table2_quick_output_is_pinned() {
     assert_eq!(
         digest::table2_quick(),

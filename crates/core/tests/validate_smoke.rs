@@ -34,6 +34,10 @@ fn figures_run_bit_identical_under_validation() {
         digest::fig3_faulted_quick(),
         digest::FIG3_FAULTED_QUICK_DIGEST
     );
+    assert_eq!(
+        digest::fig3_faulted_quick_joules().to_bits(),
+        digest::FIG3_FAULTED_QUICK_JOULES_BITS
+    );
 }
 
 #[test]

@@ -188,6 +188,49 @@ impl PowerModel {
     }
 }
 
+/// Energy surcharge of the resilience machinery (`mb-mpi` retries and
+/// timeouts) on a faulted run.
+///
+/// Time degradation is already charged through the longer makespan at
+/// nameplate power; what that misses is the *extra wire activity*: every
+/// retransmission re-serialises the message through the NIC and switch
+/// port, and every exhausted retry budget burns its whole backoff window
+/// with the link electrically active but useless. This model charges a
+/// fixed energy per event, derived from the Tibidabo GbE numbers — it
+/// deliberately mirrors the paper's nameplate style of accounting
+/// (§III.C) rather than attempting per-byte microbilling.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetransmissionModel {
+    /// Energy charged per retransmitted message.
+    pub per_retry: Energy,
+    /// Energy charged per message abandoned after exhausting its retry
+    /// budget (the full backoff ladder was burnt).
+    pub per_timeout: Energy,
+}
+
+impl RetransmissionModel {
+    /// The Tibidabo commodity-GbE figures: a retransmitted HPC message
+    /// (~64 KiB) occupies the wire for ~0.52 ms; NIC plus switch port
+    /// draw ~2.3 W while serialising, giving ~1.2 mJ per retry. An
+    /// exhausted retry budget burns the whole 8-attempt exponential
+    /// backoff ladder, ~9.6 mJ.
+    pub fn tibidabo_gbe() -> Self {
+        RetransmissionModel {
+            per_retry: Energy::from_joules(1.2e-3),
+            per_timeout: Energy::from_joules(9.6e-3),
+        }
+    }
+
+    /// Total surcharge for `retries` retransmissions and `timeouts`
+    /// exhausted budgets.
+    pub fn surcharge(&self, retries: u64, timeouts: u64) -> Energy {
+        Energy::from_joules(
+            self.per_retry.joules() * retries as f64
+                + self.per_timeout.joules() * timeouts as f64,
+        )
+    }
+}
+
 /// Table II's *Energy Ratio*: given a performance ratio
 /// `slower_time / faster_time` (e.g. Snowball time over Xeon time) and
 /// the two nameplate powers, how much energy does the slow platform use
@@ -302,6 +345,19 @@ mod tests {
         // §VI.A: 100 GFLOPS at 5 W = 20 GFLOPS/W peak.
         let eff = gflops_per_watt(100.0, PowerModel::exynos5_node().nameplate());
         assert!((eff - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn retransmission_surcharge_scales_with_counters() {
+        let m = RetransmissionModel::tibidabo_gbe();
+        assert_eq!(m.surcharge(0, 0), Energy::from_joules(0.0));
+        let light = m.surcharge(100, 0);
+        assert!((light.joules() - 0.12).abs() < 1e-12);
+        let heavy = m.surcharge(100, 10);
+        assert!(heavy > light, "timeouts must add energy");
+        assert!((heavy.joules() - (0.12 + 0.096)).abs() < 1e-12);
+        // A timeout (a whole backoff ladder) costs more than one retry.
+        assert!(m.per_timeout > m.per_retry);
     }
 
     #[test]

@@ -1,0 +1,376 @@
+//! The campaign registry: every sweep `mb-lab` can drive.
+//!
+//! A [`Campaign`] is a sweep decomposed into *slots* — independent
+//! measurements, each a pure function of `(campaign config, slot
+//! index, slot seed)` — plus a finalizer that reassembles the per-slot
+//! payloads into the canonical value stream the figure's pinned digest
+//! folds. The decomposition leans on the slot APIs the figure runners
+//! expose (`fig3::measure_scaling_slot`, `fig5::measure_slot`, …),
+//! which are proven bit-identical to the monolithic runs by tests in
+//! `montblanc` itself; the registry's job is only to route slots and
+//! streams, never to do arithmetic of its own.
+//!
+//! The pinned digests repeated here mirror the constants in
+//! `crates/core/tests/common/digest.rs`; `campaign_digests.rs` asserts
+//! the two sets stay equal.
+
+use mb_faults::FaultConfig;
+use mb_simcore::par::TaskCtx;
+use montblanc::{fig3, fig5, fig7, table2, top500};
+
+/// Pinned digest of the `fig3-quick` campaign (mirrors
+/// `FIG3_QUICK_DIGEST` in the core test fixtures).
+pub const FIG3_QUICK_DIGEST: u64 = 0xd0d5_f716_d0b3_0356;
+/// Pinned digest of the `fig3-faulted-quick` campaign.
+pub const FIG3_FAULTED_QUICK_DIGEST: u64 = 0x8ce8_a81a_59cb_2163;
+/// Pinned digest of the `fig5-quick` campaign.
+pub const FIG5_QUICK_DIGEST: u64 = 0x206e_118a_c499_7a4c;
+/// Pinned digest of the `fig7-quick` campaign.
+pub const FIG7_QUICK_DIGEST: u64 = 0xa5a1_d292_2006_e451;
+/// Pinned digest of the `table2-quick` campaign.
+pub const TABLE2_QUICK_DIGEST: u64 = 0xe2a5_d2bf_61fb_fbcf;
+/// Pinned digest of the `top500-trends` campaign (pinned here first —
+/// the trend fits had no digest guard before `mb-lab`).
+pub const TOP500_TRENDS_DIGEST: u64 = 0xe0c5_c859_2a9b_23ef;
+
+/// Folds a value stream into the workspace's order-sensitive 64-bit
+/// digest — the same fold the core test fixtures pin.
+pub fn digest(values: impl IntoIterator<Item = f64>) -> u64 {
+    values
+        .into_iter()
+        .fold(0u64, |h, v| h.rotate_left(7) ^ v.to_bits())
+}
+
+/// A sweep the driver can run slot by slot, persist, shard and resume.
+pub trait Campaign: Sync {
+    /// Registry name (the CLI's campaign argument).
+    fn name(&self) -> &'static str;
+
+    /// One-line description for `mb-lab list`.
+    fn description(&self) -> &'static str;
+
+    /// Experiment seed; slot seeds derive from it via
+    /// [`mb_simcore::par::slot_bindings`].
+    fn seed(&self) -> u64;
+
+    /// Labels of every slot, in canonical slot order. The length is the
+    /// campaign's task count.
+    fn task_labels(&self) -> Vec<String>;
+
+    /// Measures one slot. Must be a pure function of the campaign
+    /// config and `ctx` so any shard or resumed process reproduces it
+    /// bit for bit.
+    fn run_slot(&self, ctx: TaskCtx) -> Vec<f64>;
+
+    /// Reassembles completed slot payloads (in slot order) into the
+    /// canonical value stream whose digest identifies the campaign.
+    fn finalize(&self, slots: &[Vec<f64>]) -> Vec<f64>;
+
+    /// The pinned digest of [`Campaign::finalize`]'s stream, when this
+    /// campaign has one.
+    fn pinned_digest(&self) -> Option<u64>;
+}
+
+/// Figure 3 strong scaling (quick config): one slot per
+/// `(panel, core count)` point.
+struct Fig3Quick;
+
+/// Shared slot runner for the healthy Figure 3 campaign.
+impl Campaign for Fig3Quick {
+    fn name(&self) -> &'static str {
+        "fig3-quick"
+    }
+
+    fn description(&self) -> &'static str {
+        "Figure 3 strong scaling (LINPACK/SPECFEM3D/BigDFT on Tibidabo), quick grid"
+    }
+
+    fn seed(&self) -> u64 {
+        0x5CA1E
+    }
+
+    fn task_labels(&self) -> Vec<String> {
+        let cfg = fig3::Fig3Config::quick();
+        fig3::scaling_slots(&cfg)
+            .into_iter()
+            .map(|(panel, cores)| fig3::slot_label(panel, cores))
+            .collect()
+    }
+
+    fn run_slot(&self, ctx: TaskCtx) -> Vec<f64> {
+        let cfg = fig3::Fig3Config::quick();
+        let (panel, cores) = fig3::scaling_slots(&cfg)[ctx.index];
+        let rate = fig3::tegra2_effective_gflops();
+        vec![fig3::measure_scaling_slot(&cfg, panel, cores, rate)]
+    }
+
+    fn finalize(&self, slots: &[Vec<f64>]) -> Vec<f64> {
+        let cfg = fig3::Fig3Config::quick();
+        let times: Vec<f64> = slots.iter().map(|p| p[0]).collect();
+        fig3::scaling_stream(&cfg, fig3::tegra2_effective_gflops(), &times)
+    }
+
+    fn pinned_digest(&self) -> Option<u64> {
+        Some(FIG3_QUICK_DIGEST)
+    }
+}
+
+/// Figure 3 under `FaultConfig::light` (quick config).
+struct Fig3FaultedQuick;
+
+impl Campaign for Fig3FaultedQuick {
+    fn name(&self) -> &'static str {
+        "fig3-faulted-quick"
+    }
+
+    fn description(&self) -> &'static str {
+        "Figure 3 scaling under light injected faults, with resilience counters"
+    }
+
+    fn seed(&self) -> u64 {
+        0x5CA1E ^ 0xFA017
+    }
+
+    fn task_labels(&self) -> Vec<String> {
+        Fig3Quick.task_labels()
+    }
+
+    fn run_slot(&self, ctx: TaskCtx) -> Vec<f64> {
+        let cfg = fig3::Fig3Config::quick();
+        let (panel, cores) = fig3::scaling_slots(&cfg)[ctx.index];
+        let rate = fig3::tegra2_effective_gflops();
+        fig3::measure_faulted_slot(&cfg, FaultConfig::light(), panel, cores, rate).to_vec()
+    }
+
+    fn finalize(&self, slots: &[Vec<f64>]) -> Vec<f64> {
+        let cfg = fig3::Fig3Config::quick();
+        let payloads: Vec<[f64; 6]> = slots
+            .iter()
+            .map(|p| {
+                let mut a = [0.0; 6];
+                a.copy_from_slice(&p[..6]);
+                a
+            })
+            .collect();
+        fig3::faulted_stream(&cfg, fig3::tegra2_effective_gflops(), &payloads)
+    }
+
+    fn pinned_digest(&self) -> Option<u64> {
+        Some(FIG3_FAULTED_QUICK_DIGEST)
+    }
+}
+
+/// Figure 5 RT-anomaly bandwidth sweep (quick config): one slot per
+/// measurement in sequence order.
+struct Fig5Quick;
+
+impl Campaign for Fig5Quick {
+    fn name(&self) -> &'static str {
+        "fig5-quick"
+    }
+
+    fn description(&self) -> &'static str {
+        "Figure 5 Snowball bandwidth under the RT scheduling anomaly, quick grid"
+    }
+
+    fn seed(&self) -> u64 {
+        0xF165
+    }
+
+    fn task_labels(&self) -> Vec<String> {
+        let cfg = fig5::Fig5Config::quick();
+        (0..fig5::slot_count(&cfg))
+            .map(|seq| fig5::slot_label(&cfg, seq))
+            .collect()
+    }
+
+    fn run_slot(&self, ctx: TaskCtx) -> Vec<f64> {
+        let cfg = fig5::Fig5Config::quick();
+        vec![fig5::measure_slot(&cfg, ctx.index)]
+    }
+
+    fn finalize(&self, slots: &[Vec<f64>]) -> Vec<f64> {
+        slots.iter().map(|p| p[0]).collect()
+    }
+
+    fn pinned_digest(&self) -> Option<u64> {
+        Some(FIG5_QUICK_DIGEST)
+    }
+}
+
+/// Figure 7 magicfilter auto-tuning (quick config): one slot per
+/// `(machine, unroll)` variant.
+struct Fig7Quick;
+
+impl Campaign for Fig7Quick {
+    fn name(&self) -> &'static str {
+        "fig7-quick"
+    }
+
+    fn description(&self) -> &'static str {
+        "Figure 7 magicfilter unroll sweep on Nehalem and Tegra2, quick grid"
+    }
+
+    fn seed(&self) -> u64 {
+        0xF167
+    }
+
+    fn task_labels(&self) -> Vec<String> {
+        let cfg = fig7::Fig7Config::quick();
+        (0..fig7::slot_count(&cfg))
+            .map(|slot| fig7::slot_label(&cfg, slot))
+            .collect()
+    }
+
+    fn run_slot(&self, ctx: TaskCtx) -> Vec<f64> {
+        let cfg = fig7::Fig7Config::quick();
+        fig7::measure_slot(&cfg, ctx.index).to_vec()
+    }
+
+    fn finalize(&self, slots: &[Vec<f64>]) -> Vec<f64> {
+        slots.iter().flat_map(|p| p.iter().copied()).collect()
+    }
+
+    fn pinned_digest(&self) -> Option<u64> {
+        Some(FIG7_QUICK_DIGEST)
+    }
+}
+
+/// Extended Table II (quick config): one slot per `(row, machine)`
+/// cell.
+struct Table2Quick;
+
+impl Campaign for Table2Quick {
+    fn name(&self) -> &'static str {
+        "table2-quick"
+    }
+
+    fn description(&self) -> &'static str {
+        "Extended Table II single-node comparison (Snowball vs Xeon), quick config"
+    }
+
+    fn seed(&self) -> u64 {
+        0x7AB1E2
+    }
+
+    fn task_labels(&self) -> Vec<String> {
+        (0..table2::extended_cell_count())
+            .map(table2::cell_label)
+            .collect()
+    }
+
+    fn run_slot(&self, ctx: TaskCtx) -> Vec<f64> {
+        let cfg = table2::Table2Config::quick();
+        vec![table2::measure_cell(&cfg, ctx.index)]
+    }
+
+    fn finalize(&self, slots: &[Vec<f64>]) -> Vec<f64> {
+        let cells: Vec<f64> = slots.iter().map(|p| p[0]).collect();
+        table2::extended_stream(&cells)
+    }
+
+    fn pinned_digest(&self) -> Option<u64> {
+        Some(TABLE2_QUICK_DIGEST)
+    }
+}
+
+/// Figure 1 TOP500 trend fits: one slot per series.
+struct Top500Trends;
+
+impl Campaign for Top500Trends {
+    fn name(&self) -> &'static str {
+        "top500-trends"
+    }
+
+    fn description(&self) -> &'static str {
+        "Figure 1 TOP500 log-linear trend fits and exaflop projections"
+    }
+
+    fn seed(&self) -> u64 {
+        0x70500
+    }
+
+    fn task_labels(&self) -> Vec<String> {
+        top500::all_series()
+            .iter()
+            .map(|&s| top500::series_label(s).to_string())
+            .collect()
+    }
+
+    fn run_slot(&self, ctx: TaskCtx) -> Vec<f64> {
+        top500::measure_series(top500::all_series()[ctx.index])
+    }
+
+    fn finalize(&self, slots: &[Vec<f64>]) -> Vec<f64> {
+        slots.iter().flat_map(|p| p.iter().copied()).collect()
+    }
+
+    fn pinned_digest(&self) -> Option<u64> {
+        Some(TOP500_TRENDS_DIGEST)
+    }
+}
+
+/// A cheap synthetic campaign for exercising the driver itself: each
+/// slot expands its SplitMix64-derived seed into three floats. Costs
+/// microseconds per slot, so kill/resume and shard proptests can churn
+/// through hundreds of runs.
+pub struct Selftest;
+
+/// Task count of the [`Selftest`] campaign.
+pub const SELFTEST_TASKS: usize = 16;
+
+impl Campaign for Selftest {
+    fn name(&self) -> &'static str {
+        "selftest"
+    }
+
+    fn description(&self) -> &'static str {
+        "Synthetic driver-validation campaign (seed-derived payloads, instant slots)"
+    }
+
+    fn seed(&self) -> u64 {
+        0x5E1F
+    }
+
+    fn task_labels(&self) -> Vec<String> {
+        (0..SELFTEST_TASKS).map(|i| format!("slot{i}")).collect()
+    }
+
+    fn run_slot(&self, ctx: TaskCtx) -> Vec<f64> {
+        // Three deterministic, finite values per slot: mantissa-spread
+        // fractions of the slot seed and its index mix.
+        let frac = |x: u64| (x >> 11) as f64 / (1u64 << 53) as f64;
+        let mixed = ctx.seed ^ (ctx.index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        vec![
+            frac(ctx.seed),
+            frac(mixed),
+            ctx.index as f64 + 0.5,
+        ]
+    }
+
+    fn finalize(&self, slots: &[Vec<f64>]) -> Vec<f64> {
+        slots.iter().flat_map(|p| p.iter().copied()).collect()
+    }
+
+    fn pinned_digest(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// Every registered campaign, in listing order.
+pub fn registry() -> Vec<Box<dyn Campaign>> {
+    vec![
+        Box::new(Fig3Quick),
+        Box::new(Fig3FaultedQuick),
+        Box::new(Fig5Quick),
+        Box::new(Fig7Quick),
+        Box::new(Table2Quick),
+        Box::new(Top500Trends),
+        Box::new(Selftest),
+    ]
+}
+
+/// Looks a campaign up by name.
+pub fn find(name: &str) -> Option<Box<dyn Campaign>> {
+    registry().into_iter().find(|c| c.name() == name)
+}

@@ -1,0 +1,221 @@
+//! The persistent campaign driver: journal replay → checkpoint resume →
+//! shard-aware slot execution.
+//!
+//! The lifecycle of one `mb-lab run`:
+//!
+//! 1. Open (or create) the shard's journal and verify its header
+//!    against the campaign registry — version skew, a different seed or
+//!    a foreign campaign are hard errors.
+//! 2. Feed every journaled slot into
+//!    [`mb_simcore::par::Checkpoint::from_slots`]; slots with no record
+//!    become "not yet run" failures.
+//! 3. [`Checkpoint::resume_slots`] reruns only the missing slots this
+//!    shard owns (`slot % N == i`), on the deterministic sweep pool,
+//!    appending each result to the journal the moment it completes —
+//!    so a `SIGKILL` at any instant loses at most the in-flight slots.
+//! 4. When the shard's slots are all present, a single-shard run (or a
+//!    merged journal) finalizes the stream and reports its digest.
+
+use crate::campaign::{digest, Campaign};
+use crate::journal::{Journal, JournalError, JournalHeader};
+use mb_simcore::error::MbError;
+use parking_lot::Mutex;
+use std::path::Path;
+
+/// A shard assignment `index/count`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// This process's shard index (`0 <= index < count`).
+    pub index: u32,
+    /// Total shard count.
+    pub count: u32,
+}
+
+impl Shard {
+    /// The single-process assignment `0/1`.
+    pub fn solo() -> Self {
+        Shard { index: 0, count: 1 }
+    }
+
+    /// Parses `"i/N"`.
+    pub fn parse(text: &str) -> Option<Shard> {
+        let (i, n) = text.split_once('/')?;
+        let index = i.trim().parse().ok()?;
+        let count = n.trim().parse().ok()?;
+        (count > 0 && index < count).then_some(Shard { index, count })
+    }
+
+    /// Whether this shard owns `slot` under the modulo partition.
+    pub fn owns(&self, slot: usize) -> bool {
+        slot % self.count as usize == self.index as usize
+    }
+}
+
+/// Outcome of one `run_campaign` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// Slots replayed from the journal (owned by this shard).
+    pub replayed: usize,
+    /// Slots executed in this process.
+    pub executed: usize,
+    /// Whether a torn journal tail was dropped during replay.
+    pub recovered_torn_tail: bool,
+    /// Digest of the finalized stream — only for a complete (solo or
+    /// merged) journal; sharded runs finish their partition and stop.
+    pub digest: Option<u64>,
+}
+
+/// The expected journal header of `campaign` under `shard`.
+pub fn expected_header(campaign: &dyn Campaign, shard: Shard) -> JournalHeader {
+    JournalHeader {
+        campaign: campaign.name().to_string(),
+        seed: campaign.seed(),
+        tasks: campaign.task_labels().len(),
+        shard_index: shard.index,
+        shard_count: shard.count,
+    }
+}
+
+/// Runs (or resumes) one shard of a campaign against its journal.
+///
+/// `task_delay_ms` injects a fixed `thread::sleep` before every slot
+/// measurement — the kill/resume integration test uses it to widen the
+/// window in which a signal lands mid-sweep. Zero in normal operation.
+///
+/// # Errors
+///
+/// Any [`JournalError`] from opening, verifying or appending to the
+/// journal, plus [`JournalError::BadShardFamily`] if a slot execution
+/// dies (surfaced with the failing slot's label).
+pub fn run_campaign(
+    campaign: &dyn Campaign,
+    journal_path: &Path,
+    shard: Shard,
+    task_delay_ms: u64,
+) -> Result<RunOutcome, JournalError> {
+    let labels = campaign.task_labels();
+    let n = labels.len();
+    let journal = Journal::open_or_create(journal_path, expected_header(campaign, shard))?;
+    let recovered_torn_tail = journal.torn_tail;
+    let replayed = journal.records.len();
+
+    // Journal records → positional slots; absent ⇒ "not yet run".
+    let mut slots: Vec<Result<Vec<f64>, MbError>> = (0..n)
+        .map(|i| {
+            Err(MbError::TaskFailed {
+                label: labels[i].clone(),
+                message: "not yet run".to_string(),
+            })
+        })
+        .collect();
+    for (slot, payload) in &journal.records {
+        slots[*slot] = Ok(payload.clone());
+    }
+
+    let mut checkpoint = mb_simcore::par::Checkpoint::from_slots(campaign.seed(), slots);
+    let owned_missing: Vec<usize> = checkpoint
+        .missing()
+        .into_iter()
+        .filter(|&i| shard.owns(i))
+        .collect();
+    let executed = owned_missing.len();
+
+    // The journal is shared across sweep workers; appends serialize on
+    // the mutex, so record order is append order (not slot order) —
+    // the chain only certifies integrity, the slot index carries
+    // position.
+    let journal = Mutex::new(journal);
+    let tasks: Vec<(String, usize)> = labels
+        .iter()
+        .enumerate()
+        .map(|(i, l)| (l.clone(), i))
+        .collect();
+    checkpoint.resume_slots(tasks, &owned_missing, |ctx, _slot| {
+        if task_delay_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(task_delay_ms));
+        }
+        let payload = campaign.run_slot(ctx);
+        journal
+            .lock()
+            .append(ctx.index, &payload)
+            .expect("journal append of a freshly measured, owned slot");
+        payload
+    });
+
+    // A panicking slot surfaces as a TaskFailed entry; report the first.
+    if let Some((slot, err)) = checkpoint
+        .failures()
+        .into_iter()
+        .find(|(i, _)| shard.owns(*i))
+    {
+        return Err(JournalError::BadShardFamily {
+            detail: format!("slot {slot} failed: {err}"),
+        });
+    }
+
+    let final_digest = if shard.count == 1 {
+        let payloads: Vec<Vec<f64>> = checkpoint
+            .into_slots()
+            .into_iter()
+            .collect::<Result<_, _>>()
+            .map_err(|e| JournalError::BadShardFamily {
+                detail: format!("incomplete solo run: {e}"),
+            })?;
+        Some(digest(campaign.finalize(&payloads)))
+    } else {
+        None
+    };
+
+    Ok(RunOutcome {
+        replayed,
+        executed,
+        recovered_torn_tail,
+        digest: final_digest,
+    })
+}
+
+/// Finalizes a *complete* journal (solo or merged) through its
+/// campaign's finalizer and returns the stream digest.
+///
+/// # Errors
+///
+/// [`JournalError::IncompleteMerge`] when slots are missing,
+/// [`JournalError::BadShardFamily`] when the journal's campaign is not
+/// registered or its header disagrees with the registry.
+pub fn digest_journal(journal: &Journal) -> Result<u64, JournalError> {
+    let campaign =
+        crate::campaign::find(&journal.header.campaign).ok_or_else(|| JournalError::BadShardFamily {
+            detail: format!("unknown campaign '{}'", journal.header.campaign),
+        })?;
+    let expected = expected_header(campaign.as_ref(), Shard::solo());
+    if journal.header.seed != expected.seed || journal.header.tasks != expected.tasks {
+        return Err(JournalError::BadShardFamily {
+            detail: format!(
+                "journal header (seed {:016x}, {} tasks) disagrees with registered \
+                 campaign '{}' (seed {:016x}, {} tasks)",
+                journal.header.seed,
+                journal.header.tasks,
+                campaign.name(),
+                expected.seed,
+                expected.tasks
+            ),
+        });
+    }
+    let mut slots: Vec<Option<Vec<f64>>> = vec![None; journal.header.tasks];
+    for (slot, payload) in &journal.records {
+        slots[*slot] = Some(payload.clone());
+    }
+    let missing: Vec<usize> = slots
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| s.is_none().then_some(i))
+        .collect();
+    if !missing.is_empty() {
+        return Err(JournalError::IncompleteMerge { missing });
+    }
+    let payloads: Vec<Vec<f64>> = slots
+        .into_iter()
+        .map(|s| s.expect("missing slots rejected above"))
+        .collect();
+    Ok(digest(campaign.finalize(&payloads)))
+}

@@ -1,0 +1,29 @@
+//! `mb-lab` — the persistent, sharded experiment driver.
+//!
+//! Every figure and table of the reproduction is a deterministic sweep:
+//! an ordered list of independent slot measurements reduced into a
+//! value stream whose 64-bit digest is pinned in the test suite. This
+//! crate runs those sweeps as *campaigns* that survive process death
+//! and partition across processes:
+//!
+//! * [`journal`] — the append-only, digest-chained journal file each
+//!   shard writes one record to per completed slot, with torn-tail
+//!   crash recovery and hard errors on version skew or chain breaks;
+//! * [`campaign`] — the registry binding campaign names to the slot
+//!   APIs of the figure runners and to their pinned digests;
+//! * [`driver`] — replay + [`mb_simcore::par::Checkpoint`] resume +
+//!   modulo sharding (`slot % N == i`) + journal merge.
+//!
+//! The determinism contract is the workspace-wide one: a campaign run
+//! killed at any instant and resumed, or split across any shard count
+//! and merged, reproduces the monolithic in-process sweep **bit for
+//! bit** — the integration tests prove it against the pinned figure
+//! digests under multiple `MB_THREADS` values.
+
+pub mod campaign;
+pub mod driver;
+pub mod journal;
+
+pub use campaign::{digest, Campaign};
+pub use driver::{digest_journal, expected_header, run_campaign, RunOutcome, Shard};
+pub use journal::{merge, Journal, JournalError, JournalHeader};

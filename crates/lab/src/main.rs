@@ -1,0 +1,223 @@
+//! `mb-lab` CLI — run, shard, merge and digest experiment campaigns.
+//!
+//! ```text
+//! mb-lab list
+//! mb-lab run <campaign> --journal <path> [--shard i/N] [--task-delay-ms d]
+//! mb-lab merge <out> <in>...
+//! mb-lab digest <journal> [--expect 0xHEX] [--check]
+//! ```
+//!
+//! The shard assignment comes from `--shard i/N` or, failing that, the
+//! `MB_SHARD` environment variable (same syntax); default `0/1`. Worker
+//! threads follow the workspace-wide `MB_THREADS` variable.
+
+use mb_lab::{campaign, driver, journal};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  mb-lab list\n  mb-lab run <campaign> --journal <path> \
+         [--shard i/N] [--task-delay-ms d]\n  mb-lab merge <out> <in>...\n  \
+         mb-lab digest <journal> [--expect 0xHEX] [--check]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("run") => cmd_run(&args[1..]),
+        Some("merge") => cmd_merge(&args[1..]),
+        Some("digest") => cmd_digest(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn cmd_list() -> ExitCode {
+    for c in campaign::registry() {
+        let pinned = match c.pinned_digest() {
+            Some(d) => format!("digest {d:#018x}"),
+            None => "unpinned".to_string(),
+        };
+        println!(
+            "{:<20} {:>3} tasks  {}  {}",
+            c.name(),
+            c.task_labels().len(),
+            pinned,
+            c.description()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let Some(name) = args.first() else {
+        return usage();
+    };
+    let mut journal_path: Option<PathBuf> = None;
+    let mut shard: Option<driver::Shard> = None;
+    let mut task_delay_ms = 0u64;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--journal" if i + 1 < args.len() => {
+                journal_path = Some(PathBuf::from(&args[i + 1]));
+                i += 2;
+            }
+            "--shard" if i + 1 < args.len() => {
+                let Some(s) = driver::Shard::parse(&args[i + 1]) else {
+                    eprintln!("mb-lab: bad --shard '{}': want i/N with i < N", args[i + 1]);
+                    return ExitCode::from(2);
+                };
+                shard = Some(s);
+                i += 2;
+            }
+            "--task-delay-ms" if i + 1 < args.len() => {
+                let Ok(d) = args[i + 1].parse() else {
+                    eprintln!("mb-lab: bad --task-delay-ms '{}'", args[i + 1]);
+                    return ExitCode::from(2);
+                };
+                task_delay_ms = d;
+                i += 2;
+            }
+            other => {
+                eprintln!("mb-lab: unknown run option '{other}'");
+                return usage();
+            }
+        }
+    }
+    let Some(journal_path) = journal_path else {
+        eprintln!("mb-lab: run requires --journal <path>");
+        return usage();
+    };
+    let shard = shard
+        .or_else(|| {
+            std::env::var("MB_SHARD")
+                .ok()
+                .and_then(|v| driver::Shard::parse(&v))
+        })
+        .unwrap_or_else(driver::Shard::solo);
+
+    let Some(c) = campaign::find(name) else {
+        eprintln!("mb-lab: unknown campaign '{name}' (try `mb-lab list`)");
+        return ExitCode::FAILURE;
+    };
+    match driver::run_campaign(c.as_ref(), &journal_path, shard, task_delay_ms) {
+        Ok(outcome) => {
+            if outcome.recovered_torn_tail {
+                eprintln!("mb-lab: dropped a torn journal tail (crash recovery)");
+            }
+            print!(
+                "{}: shard {}/{}: {} replayed, {} executed",
+                c.name(),
+                shard.index,
+                shard.count,
+                outcome.replayed,
+                outcome.executed
+            );
+            match outcome.digest {
+                Some(d) => println!(", digest {d:#018x}"),
+                None => println!(" (partial shard; merge to finalize)"),
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("mb-lab: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_merge(args: &[String]) -> ExitCode {
+    if args.len() < 2 {
+        return usage();
+    }
+    let out = Path::new(&args[0]);
+    let inputs: Vec<PathBuf> = args[1..].iter().map(PathBuf::from).collect();
+    match journal::merge(out, &inputs) {
+        Ok(merged) => {
+            println!(
+                "merged {} shard(s) -> {} ({} records, campaign {})",
+                inputs.len(),
+                out.display(),
+                merged.records.len(),
+                merged.header.campaign
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("mb-lab: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_digest(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return usage();
+    };
+    let mut expect: Option<u64> = None;
+    let mut check = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--expect" if i + 1 < args.len() => {
+                let text = args[i + 1].trim_start_matches("0x");
+                let Ok(v) = u64::from_str_radix(text, 16) else {
+                    eprintln!("mb-lab: bad --expect '{}'", args[i + 1]);
+                    return ExitCode::from(2);
+                };
+                expect = Some(v);
+                i += 2;
+            }
+            "--check" => {
+                check = true;
+                i += 1;
+            }
+            other => {
+                eprintln!("mb-lab: unknown digest option '{other}'");
+                return usage();
+            }
+        }
+    }
+    let loaded = match journal::Journal::load(Path::new(path)) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("mb-lab: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let digest = match driver::digest_journal(&loaded) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("mb-lab: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}: digest {digest:#018x}", loaded.header.campaign);
+    if let Some(want) = expect {
+        if digest != want {
+            eprintln!("mb-lab: digest mismatch: got {digest:#018x}, expected {want:#018x}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if check {
+        let pinned = campaign::find(&loaded.header.campaign).and_then(|c| c.pinned_digest());
+        match pinned {
+            Some(want) if want == digest => println!("pinned digest check: ok"),
+            Some(want) => {
+                eprintln!(
+                    "mb-lab: pinned digest mismatch: got {digest:#018x}, pinned {want:#018x}"
+                );
+                return ExitCode::FAILURE;
+            }
+            None => {
+                eprintln!("mb-lab: campaign '{}' has no pinned digest", loaded.header.campaign);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,158 @@
+//! Pins the campaign registry to the core test fixtures and proves the
+//! whole persistence pipeline — journal → checkpoint replay → shard
+//! merge — reproduces the pinned figure digests bit for bit at more
+//! than one worker count. This is the ISSUE's acceptance gate run
+//! in-process; `kill_resume.rs` repeats it across a real `SIGKILL`.
+
+// The core crate's test fixture, included by path so the two pinned
+// constant sets can never drift silently.
+#[path = "../../core/tests/common/digest.rs"]
+#[allow(dead_code)]
+mod fixture;
+
+use mb_lab::campaign::{self, find, registry};
+use mb_lab::driver::{digest_journal, run_campaign, Shard};
+use mb_lab::journal::{merge, Journal};
+use mb_simcore::par::with_threads;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mb-lab-digests-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+#[test]
+fn registry_pins_mirror_the_core_fixtures() {
+    assert_eq!(campaign::FIG3_QUICK_DIGEST, fixture::FIG3_QUICK_DIGEST);
+    assert_eq!(
+        campaign::FIG3_FAULTED_QUICK_DIGEST,
+        fixture::FIG3_FAULTED_QUICK_DIGEST
+    );
+    assert_eq!(campaign::FIG5_QUICK_DIGEST, fixture::FIG5_QUICK_DIGEST);
+    assert_eq!(campaign::FIG7_QUICK_DIGEST, fixture::FIG7_QUICK_DIGEST);
+    assert_eq!(campaign::TABLE2_QUICK_DIGEST, fixture::TABLE2_QUICK_DIGEST);
+}
+
+#[test]
+fn registry_digest_fold_matches_the_fixture_fold() {
+    let stream = [0.0, -0.0, 1.5, f64::MIN_POSITIVE, 1e308];
+    assert_eq!(campaign::digest(stream), fixture::digest(stream));
+}
+
+/// The top500 campaign had no core fixture before `mb-lab`; its pin is
+/// anchored here against a direct (journal-free) trend fit instead.
+#[test]
+fn top500_pin_matches_a_direct_trend_fit() {
+    use montblanc::top500;
+    let stream: Vec<f64> = top500::all_series()
+        .into_iter()
+        .flat_map(|s| top500::trend_stream(&top500::fit_trend(&top500::history(), s)))
+        .collect();
+    assert_eq!(campaign::digest(stream), campaign::TOP500_TRENDS_DIGEST);
+}
+
+/// Runs `name` solo through the full journal pipeline and checks the
+/// finalized digest against the registry pin.
+fn solo_digest(dir: &Path, name: &str, tag: &str) -> u64 {
+    let campaign = find(name).expect("registered campaign");
+    let path = dir.join(format!("{name}-{tag}.journal"));
+    let out = run_campaign(campaign.as_ref(), &path, Shard::solo(), 0).expect("solo run");
+    assert_eq!(out.replayed, 0);
+    out.digest.expect("solo runs finalize")
+}
+
+#[test]
+fn fig3_solo_run_reproduces_the_pinned_digest_at_two_thread_counts() {
+    let dir = scratch("fig3-solo");
+    for threads in [1usize, 3] {
+        let d = with_threads(threads, || {
+            solo_digest(&dir, "fig3-quick", &format!("t{threads}"))
+        });
+        assert_eq!(
+            d,
+            fixture::FIG3_QUICK_DIGEST,
+            "fig3-quick solo digest drifted at {threads} worker(s)"
+        );
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fig3_three_way_shard_merge_reproduces_the_pinned_digest() {
+    let dir = scratch("fig3-shards");
+    for threads in [1usize, 3] {
+        let digest = with_threads(threads, || {
+            let campaign = find("fig3-quick").expect("registered campaign");
+            let paths: Vec<PathBuf> = (0..3)
+                .map(|i| dir.join(format!("t{threads}-shard{i}.journal")))
+                .collect();
+            for (i, path) in paths.iter().enumerate() {
+                let shard = Shard {
+                    index: i as u32,
+                    count: 3,
+                };
+                let out = run_campaign(campaign.as_ref(), path, shard, 0).expect("shard run");
+                assert!(out.digest.is_none(), "partial shards must not finalize");
+            }
+            let merged =
+                merge(&dir.join(format!("t{threads}-merged.journal")), &paths).expect("merge");
+            digest_journal(&merged).expect("digest merged journal")
+        });
+        assert_eq!(
+            digest,
+            fixture::FIG3_QUICK_DIGEST,
+            "3-way shard merge digest drifted at {threads} worker(s)"
+        );
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fig3_resume_after_partial_run_reproduces_the_pinned_digest() {
+    let dir = scratch("fig3-resume");
+    let campaign = find("fig3-quick").expect("registered campaign");
+    for threads in [1usize, 3] {
+        let path = dir.join(format!("t{threads}.journal"));
+        let (replayed, digest) = with_threads(threads, || {
+            run_campaign(campaign.as_ref(), &path, Shard::solo(), 0).expect("first run");
+            // Crash-rewind: keep the header plus the first 4 records.
+            let text = fs::read_to_string(&path).expect("read journal");
+            let prefix: Vec<&str> = text.lines().take(5).collect();
+            fs::write(&path, format!("{}\n", prefix.join("\n"))).expect("rewind journal");
+            let out =
+                run_campaign(campaign.as_ref(), &path, Shard::solo(), 0).expect("resumed run");
+            (out.replayed, out.digest.expect("solo runs finalize"))
+        });
+        assert_eq!(replayed, 4, "resume must replay exactly the surviving records");
+        assert_eq!(
+            digest,
+            fixture::FIG3_QUICK_DIGEST,
+            "resumed fig3-quick digest drifted at {threads} worker(s)"
+        );
+        let reloaded = Journal::load(&path).expect("journal verifies after resume");
+        assert_eq!(reloaded.completed_slots().len(), 9);
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn every_pinned_campaign_reproduces_its_digest_through_the_journal() {
+    let dir = scratch("all-campaigns");
+    for campaign in registry() {
+        let Some(pinned) = campaign.pinned_digest() else {
+            continue;
+        };
+        let path = dir.join(format!("{}.journal", campaign.name()));
+        let out = run_campaign(campaign.as_ref(), &path, Shard::solo(), 0).expect("solo run");
+        assert_eq!(
+            out.digest,
+            Some(pinned),
+            "campaign '{}' drifted from its pinned digest",
+            campaign.name()
+        );
+    }
+    let _ = fs::remove_dir_all(&dir);
+}

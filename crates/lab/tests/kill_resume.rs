@@ -1,0 +1,136 @@
+//! The kill/resume acceptance test: a real `mb-lab` subprocess driving
+//! the Figure 3 quick campaign is `SIGKILL`ed mid-sweep, then resumed
+//! by a second invocation. The resumed run must replay the surviving
+//! journal records, re-measure only the lost slots, and finalize to the
+//! digest pinned in the core test fixtures — at two worker counts.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::thread;
+use std::time::Duration;
+
+/// `FIG3_QUICK_DIGEST` from `crates/core/tests/common/digest.rs`,
+/// spelled the way the CLI prints it.
+const PINNED_FIG3_DIGEST: &str = "0xd0d5f716d0b30356";
+
+/// Total slot count of the fig3-quick campaign (3 panels × 3 core
+/// counts).
+const FIG3_SLOTS: usize = 9;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mb-lab-kill-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn mb_lab() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mb-lab"))
+}
+
+/// Completed (newline-terminated) record lines currently in the file.
+fn record_count(path: &Path) -> usize {
+    let Ok(text) = fs::read_to_string(path) else {
+        return 0;
+    };
+    let mut n = 0;
+    let mut rest = text.as_str();
+    while let Some(pos) = rest.find('\n') {
+        if rest[..pos].starts_with("r ") {
+            n += 1;
+        }
+        rest = &rest[pos + 1..];
+    }
+    n
+}
+
+fn kill_and_resume(threads: &str) {
+    let dir = scratch(&format!("t{threads}"));
+    let journal = dir.join("fig3.journal");
+
+    // First run: slowed down so the kill reliably lands mid-sweep.
+    let mut child = mb_lab()
+        .args(["run", "fig3-quick", "--journal"])
+        .arg(&journal)
+        .args(["--task-delay-ms", "300"])
+        .env("MB_THREADS", threads)
+        .spawn()
+        .expect("spawn mb-lab");
+
+    // Wait for at least two slots to hit the journal, then SIGKILL —
+    // no signal handler runs, so this is a genuine crash.
+    let mut waited = Duration::ZERO;
+    while record_count(&journal) < 2 {
+        assert!(
+            waited < Duration::from_secs(60),
+            "mb-lab produced fewer than 2 records in 60s"
+        );
+        assert!(
+            child.try_wait().expect("poll child").is_none(),
+            "mb-lab exited before the kill (task delay too short?)"
+        );
+        thread::sleep(Duration::from_millis(10));
+        waited += Duration::from_millis(10);
+    }
+    child.kill().expect("SIGKILL mb-lab");
+    child.wait().expect("reap mb-lab");
+    let survived = record_count(&journal);
+    assert!(
+        (2..FIG3_SLOTS).contains(&survived),
+        "kill must land mid-sweep: {survived} of {FIG3_SLOTS} records survived"
+    );
+
+    // Resume at full speed: replay the survivors, run the rest, and
+    // finalize to the pinned digest.
+    let output = mb_lab()
+        .args(["run", "fig3-quick", "--journal"])
+        .arg(&journal)
+        .env("MB_THREADS", threads)
+        .output()
+        .expect("resume mb-lab");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "resume failed\nstdout: {stdout}\nstderr: {stderr}"
+    );
+    assert!(
+        stdout.contains(&format!("{survived} replayed")),
+        "resume must replay every surviving record\nstdout: {stdout}"
+    );
+    assert!(
+        stdout.contains(&format!("{} executed", FIG3_SLOTS - survived)),
+        "resume must re-measure exactly the lost slots\nstdout: {stdout}"
+    );
+    assert!(
+        stdout.contains(&format!("digest {PINNED_FIG3_DIGEST}")),
+        "resumed digest must equal the pinned Figure 3 digest\nstdout: {stdout}"
+    );
+
+    // `mb-lab digest --check --expect` agrees with the registry pin.
+    let check = mb_lab()
+        .args(["digest"])
+        .arg(&journal)
+        .args(["--expect", PINNED_FIG3_DIGEST, "--check"])
+        .output()
+        .expect("digest check");
+    assert!(
+        check.status.success(),
+        "digest --check failed: {}",
+        String::from_utf8_lossy(&check.stderr)
+    );
+    assert!(String::from_utf8_lossy(&check.stdout).contains("pinned digest check: ok"));
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sigkill_then_resume_reproduces_the_pinned_digest_single_worker() {
+    kill_and_resume("1");
+}
+
+#[test]
+fn sigkill_then_resume_reproduces_the_pinned_digest_three_workers() {
+    kill_and_resume("3");
+}

@@ -1,0 +1,113 @@
+//! Shard-equivalence property tests: for any shard count `N in 1..8`,
+//! any completion order, any crash-rewind point per shard and any
+//! worker count, merging the `N` shard journals yields a stream digest
+//! bit-identical to one solo run. This is the sharding contract the
+//! ISSUE pins — slot results are pure functions of `(campaign, slot,
+//! seed)`, so *how* the partition was executed can never leak into the
+//! merged result.
+
+use mb_lab::campaign::Selftest;
+use mb_lab::driver::{digest_journal, run_campaign, Shard};
+use mb_lab::journal::{merge, Journal};
+use mb_simcore::par::with_threads;
+use proptest::prelude::*;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Monotone case counter so every proptest case gets a fresh directory
+/// even when cases run back to back within one process.
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+fn scratch() -> PathBuf {
+    let case = CASE.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "mb-lab-shard-props-{}-{case}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// SplitMix64 — drives the test's own interleaving choices (shard
+/// order, rewind depths) deterministically from one proptest input.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Rewinds a journal file to its header plus the first `keep` records —
+/// the on-disk state a crash would have left after `keep` completed
+/// appends.
+fn rewind_to(path: &Path, keep: usize) {
+    let text = fs::read_to_string(path).expect("read journal");
+    let lines: Vec<&str> = text.lines().collect();
+    let prefix = &lines[..(keep + 1).min(lines.len())];
+    fs::write(path, format!("{}\n", prefix.join("\n"))).expect("rewind journal");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn sharded_merge_is_bit_identical_to_solo(
+        n in 1u32..8,
+        choice_seed in 0u64..u64::MAX,
+        threads in 1usize..5,
+    ) {
+        let dir = scratch();
+        with_threads(threads, || {
+            let solo = run_campaign(&Selftest, &dir.join("solo.journal"), Shard::solo(), 0)
+                .expect("solo run");
+            let solo_digest = solo.digest.expect("solo runs always finalize");
+
+            let mut rng = choice_seed;
+            // Fisher–Yates over the shard indices: completion order is
+            // a proptest-chosen permutation, not 0..N.
+            let mut order: Vec<u32> = (0..n).collect();
+            for i in (1..order.len()).rev() {
+                let j = (splitmix(&mut rng) % (i as u64 + 1)) as usize;
+                order.swap(i, j);
+            }
+            let paths: Vec<PathBuf> = (0..n)
+                .map(|i| dir.join(format!("shard{i}.journal")))
+                .collect();
+
+            // Pass 1: every shard runs its partition to completion, in
+            // the permuted order. Only a solo shard may finalize.
+            for &i in &order {
+                let shard = Shard { index: i, count: n };
+                let out = run_campaign(&Selftest, &paths[i as usize], shard, 0)
+                    .expect("shard run");
+                prop_assert_eq!(out.replayed, 0);
+                prop_assert_eq!(out.digest.is_some(), n == 1);
+            }
+
+            // Pass 2: crash-rewind each journal to an arbitrary prefix
+            // and resume; the driver must replay exactly the kept
+            // records and re-measure only the lost ones.
+            for &i in &order {
+                let path = &paths[i as usize];
+                let total = Journal::load(path).expect("load shard").records.len();
+                let keep = (splitmix(&mut rng) % (total as u64 + 1)) as usize;
+                rewind_to(path, keep);
+                let shard = Shard { index: i, count: n };
+                let out = run_campaign(&Selftest, path, shard, 0).expect("shard resume");
+                prop_assert_eq!(out.replayed, keep);
+                prop_assert_eq!(out.executed, total - keep);
+            }
+
+            let merged = merge(&dir.join("merged.journal"), &paths).expect("merge");
+            prop_assert_eq!(
+                digest_journal(&merged).expect("digest merged journal"),
+                solo_digest,
+                "merged {}-way shard digest must equal the solo digest", n
+            );
+        });
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -174,6 +174,19 @@ pub fn derive_seeds(experiment_seed: u64, n: usize) -> Vec<u64> {
     (0..n).map(|_| sm.next_u64()).collect()
 }
 
+/// The `(index, seed)` binding of every slot of an `n`-task sweep — the
+/// slot-level task enumeration external drivers (`mb-lab` campaigns,
+/// shard partitioners) use to run arbitrary slot subsets out of process
+/// while preserving the exact seeds a monolithic [`sweep`] would hand
+/// each task.
+pub fn slot_bindings(experiment_seed: u64, n: usize) -> Vec<TaskCtx> {
+    derive_seeds(experiment_seed, n)
+        .into_iter()
+        .enumerate()
+        .map(|(index, seed)| TaskCtx { index, seed })
+        .collect()
+}
+
 /// Best-effort text from a panic payload.
 fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -413,9 +426,27 @@ pub struct Checkpoint<R> {
 }
 
 impl<R: Send> Checkpoint<R> {
+    /// Reconstitutes a checkpoint from per-slot results persisted by an
+    /// earlier process (an `mb-lab` journal replay): completed slots
+    /// carry their recorded result, missing or failed slots an error.
+    /// Because the `(index, seed)` bindings are re-derived from
+    /// `experiment_seed`, a resume over these slots is bit-identical to
+    /// one inside the original process.
+    pub fn from_slots(experiment_seed: u64, slots: Vec<Result<R, MbError>>) -> Self {
+        Checkpoint {
+            experiment_seed,
+            slots,
+        }
+    }
+
     /// Experiment seed the sweep (and any resume) derives task seeds from.
     pub fn experiment_seed(&self) -> u64 {
         self.experiment_seed
+    }
+
+    /// Read access to the raw per-slot results, in slot order.
+    pub fn slots(&self) -> &[Result<R, MbError>] {
+        &self.slots
     }
 
     /// Indices of slots still missing a successful result, ascending.
@@ -457,6 +488,25 @@ impl<R: Send> Checkpoint<R> {
         T: Send,
         F: Fn(TaskCtx, T) -> R + Sync,
     {
+        let all: Vec<usize> = (0..self.slots.len()).collect();
+        self.resume_slots(tasks, &all, f);
+    }
+
+    /// [`Self::resume`] restricted to a slot subset: reruns only the
+    /// failed slots whose index appears in `indices`, leaving every
+    /// other slot (completed *or* failed) untouched. This is how a
+    /// sharded driver heals its own partition of a sweep without
+    /// claiming work owned by sibling shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tasks.len()` differs from the checkpoint width or an
+    /// index is out of range.
+    pub fn resume_slots<T, F>(&mut self, tasks: Vec<(String, T)>, indices: &[usize], f: F)
+    where
+        T: Send,
+        F: Fn(TaskCtx, T) -> R + Sync,
+    {
         assert_eq!(
             tasks.len(),
             self.slots.len(),
@@ -464,17 +514,22 @@ impl<R: Send> Checkpoint<R> {
             self.slots.len(),
             tasks.len()
         );
+        let mut wanted = vec![false; self.slots.len()];
+        for &i in indices {
+            assert!(i < self.slots.len(), "slot index {i} out of range");
+            wanted[i] = true;
+        }
         let seeds = derive_seeds(self.experiment_seed, tasks.len());
         let jobs: Vec<(TaskCtx, String, T)> = tasks
             .into_iter()
             .zip(seeds)
             .enumerate()
-            .filter(|(index, _)| self.slots[*index].is_err())
+            .filter(|(index, _)| wanted[*index] && self.slots[*index].is_err())
             .map(|(index, ((label, item), seed))| (TaskCtx { index, seed }, label, item))
             .collect();
-        let indices: Vec<usize> = jobs.iter().map(|(ctx, _, _)| ctx.index).collect();
+        let slots_run: Vec<usize> = jobs.iter().map(|(ctx, _, _)| ctx.index).collect();
         let rerun = run_contained(jobs, &f);
-        for (slot, result) in indices.into_iter().zip(rerun) {
+        for (slot, result) in slots_run.into_iter().zip(rerun) {
             self.slots[slot] = result;
         }
     }
@@ -710,6 +765,74 @@ mod tests {
             }
             other => panic!("expected TaskFailed, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn slot_bindings_match_sweep_contexts() {
+        let bindings = slot_bindings(0xFEED, 9);
+        let seen = sweep(0xFEED, vec![(); 9], |ctx, ()| ctx);
+        assert_eq!(bindings, seen);
+    }
+
+    #[test]
+    fn from_slots_resume_matches_clean_run() {
+        // A driver persisted slots 0, 2 and 4; the rest are "not yet
+        // run". Resuming from the reconstituted checkpoint must fill the
+        // holes with exactly the values a clean sweep produces.
+        let clean = sweep(0x10AD, (0..6u64).collect(), |ctx, x| ctx.seed ^ x);
+        let persisted = clean
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                if i % 2 == 0 {
+                    Ok(v)
+                } else {
+                    Err(MbError::TaskFailed {
+                        label: format!("slot-{i}"),
+                        message: "not yet run".to_string(),
+                    })
+                }
+            })
+            .collect();
+        let mut cp = Checkpoint::from_slots(0x10AD, persisted);
+        assert_eq!(cp.experiment_seed(), 0x10AD);
+        assert_eq!(cp.missing(), vec![1, 3, 5]);
+        let tasks = (0..6u64).map(|i| (format!("t{i}"), i)).collect();
+        let reran = AtomicUsize::new(0);
+        cp.resume(tasks, |ctx, x| {
+            reran.fetch_add(1, Ordering::Relaxed);
+            ctx.seed ^ x
+        });
+        assert_eq!(reran.load(Ordering::Relaxed), 3);
+        assert_eq!(cp.into_results().unwrap(), clean);
+    }
+
+    #[test]
+    fn resume_slots_heals_only_the_given_subset() {
+        let missing = || {
+            Err(MbError::TaskFailed {
+                label: "pending".to_string(),
+                message: "not yet run".to_string(),
+            })
+        };
+        // All 8 slots missing; this "shard" owns the even ones.
+        let mut cp: Checkpoint<u64> =
+            Checkpoint::from_slots(7, (0..8).map(|_| missing()).collect());
+        let tasks = || (0..8u64).map(|i| (format!("t{i}"), i)).collect::<Vec<_>>();
+        cp.resume_slots(tasks(), &[0, 2, 4, 6], |ctx, x| ctx.seed ^ x);
+        assert_eq!(cp.missing(), vec![1, 3, 5, 7], "odd slots stay foreign");
+        // The sibling shard's resume completes the sweep; together the
+        // two partitions are bit-identical to one monolithic run.
+        cp.resume_slots(tasks(), &[1, 3, 5, 7], |ctx, x| ctx.seed ^ x);
+        let clean = sweep(7, (0..8u64).collect(), |ctx, x| ctx.seed ^ x);
+        assert_eq!(cp.into_results().unwrap(), clean);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot index 9 out of range")]
+    fn resume_slots_rejects_out_of_range_index() {
+        let mut cp = sweep_checkpoint(2, vec![("a".to_string(), 1u8)], |_, x| x);
+        cp.resume_slots(vec![("a".to_string(), 1u8)], &[9], |_, x| x);
     }
 
     #[test]

@@ -27,4 +27,19 @@ cargo run --release -p mb-bench --bin fault_ablation -- --quick
 echo "==> perfsuite (healthy-path check: no faults planned, no overhead, bit-identical)"
 cargo run --release -p mb-bench --bin perfsuite -- --quick
 
+echo "==> mb-lab 2-shard campaign smoke (shard, merge, pinned-digest check)"
+# Two sharded processes split the fig3-quick campaign, the merge stitches
+# their journals back into canonical slot order, and the digest gate
+# proves the sharded result is bit-identical to the pinned figure digest.
+LAB_DIR="$(mktemp -d)"
+trap 'rm -rf "$LAB_DIR"' EXIT
+cargo run --release -p mb-lab --bin mb-lab -- \
+    run fig3-quick --journal "$LAB_DIR/shard0.journal" --shard 0/2
+MB_SHARD=1/2 cargo run --release -p mb-lab --bin mb-lab -- \
+    run fig3-quick --journal "$LAB_DIR/shard1.journal"
+cargo run --release -p mb-lab --bin mb-lab -- \
+    merge "$LAB_DIR/merged.journal" "$LAB_DIR/shard0.journal" "$LAB_DIR/shard1.journal"
+cargo run --release -p mb-lab --bin mb-lab -- \
+    digest "$LAB_DIR/merged.journal" --expect 0xd0d5f716d0b30356 --check
+
 echo "CI green."
