@@ -1,0 +1,74 @@
+//! Paper-campaign cost model: samples a bounded prefix of every
+//! `-paper` campaign through the real driver pipeline (journal +
+//! checkpoint included), extrapolates mean slot cost to a full-grid
+//! ETA, and writes `BENCH_campaigns.json` so the docs' shard-count
+//! guidance tracks measured numbers instead of folklore.
+//!
+//! The sampled prefix is the same front-to-back walk a
+//! `--max-slots`-bounded CI smoke performs, so the mean it reports is
+//! the mean CI actually pays.
+
+use mb_bench::header;
+use mb_lab::campaign::registry;
+use mb_lab::driver::{run_campaign_with, RunOptions};
+use montblanc::report::TextTable;
+use std::fs;
+
+/// Slots sampled per campaign — enough to average out per-slot
+/// variance without paying for a full fig5 grid.
+const SAMPLE_SLOTS: usize = 16;
+
+fn main() {
+    header("mb-lab paper campaigns: sampled slot cost and full-grid ETA");
+    let dir = std::env::temp_dir().join(format!("mb-lab-eta-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create bench dir");
+
+    let mut t = TextTable::new(vec![
+        "campaign".into(),
+        "slots".into(),
+        "sampled".into(),
+        "mean slot ms".into(),
+        "est total s".into(),
+    ]);
+    let mut json_rows = Vec::new();
+    for campaign in registry() {
+        if !campaign.name().ends_with("-paper") {
+            continue;
+        }
+        let tasks = campaign.task_labels().len();
+        let opts = RunOptions {
+            max_slots: Some(SAMPLE_SLOTS),
+            ..RunOptions::default()
+        };
+        let path = dir.join(format!("{}.journal", campaign.name()));
+        let out = run_campaign_with(campaign.as_ref(), &path, &opts).expect("sampled run");
+        assert_eq!(out.executed, SAMPLE_SLOTS.min(tasks));
+        let sampled = out.slot_secs.len();
+        let mean = out.slot_secs.iter().map(|&(_, s)| s).sum::<f64>() / sampled as f64;
+        let est_total = mean * tasks as f64;
+        t.row(vec![
+            campaign.name().into(),
+            tasks.to_string(),
+            sampled.to_string(),
+            format!("{:.3}", mean * 1e3),
+            format!("{est_total:.3}"),
+        ]);
+        json_rows.push(format!(
+            "    {{\"campaign\": \"{}\", \"slots\": {tasks}, \"sampled\": {sampled}, \
+             \"mean_slot_secs\": {mean:.6}, \"est_total_secs\": {est_total:.6}}}",
+            campaign.name()
+        ));
+    }
+    println!("{}", t.render());
+
+    let json = format!(
+        "{{\n  \"sample_slots\": {SAMPLE_SLOTS},\n  \"campaigns\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    fs::write("BENCH_campaigns.json", &json).expect("write BENCH_campaigns.json");
+    println!("wrote BENCH_campaigns.json");
+    println!("ETAs are serial single-shard estimates; divide by the shard count");
+    println!("(and see EXPERIMENTS.md for the merge + digest gate that follows).");
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -245,12 +245,54 @@ pub fn slot_label(cfg: &Fig5Config, seq: usize) -> String {
     format!("seq{seq}-{size}B")
 }
 
+/// Labels of every campaign slot, in sequence order. Walks the
+/// randomised plan once, so labelling the paper grid's 2 100 slots is
+/// O(n) rather than the O(n²) of calling [`slot_label`] per slot.
+pub fn slot_labels(cfg: &Fig5Config) -> Vec<String> {
+    let plan = MeasurementPlan::full_factorial(&cfg.sizes, cfg.reps, cfg.seed);
+    plan.iter()
+        .enumerate()
+        .map(|(seq, m)| format!("seq{seq}-{}B", m.level))
+        .collect()
+}
+
+/// Reusable slot measurer: builds the serial prelude (plan, anomaly
+/// window, order-dependent page allocations) once and then measures any
+/// slot bit-identically to [`measure_slot`]. A campaign driving the
+/// paper grid measures 2 100 slots; recomputing the 2 100-entry prelude
+/// per slot would make the decomposition quadratic in the grid size.
+pub struct SlotMeasurer {
+    cfg: Fig5Config,
+    prelude: Prelude,
+}
+
+impl SlotMeasurer {
+    /// Builds the prelude for `cfg` once.
+    pub fn new(cfg: &Fig5Config) -> SlotMeasurer {
+        SlotMeasurer {
+            cfg: cfg.clone(),
+            prelude: Prelude::new(cfg),
+        }
+    }
+
+    /// Number of slots this measurer can measure.
+    pub fn slot_count(&self) -> usize {
+        self.prelude.slots.len()
+    }
+
+    /// Measures slot `seq` — bit-identical to the sample a monolithic
+    /// [`run`] produces at that sequence position.
+    pub fn measure(&self, seq: usize) -> f64 {
+        self.prelude.measure(&self.cfg, seq).bandwidth_gbps
+    }
+}
+
 /// Measures campaign slot `seq` alone: replays the serial prelude
 /// (plan, anomaly window, allocation order) and runs the one
 /// measurement — bit-identical to the sample a monolithic [`run`]
 /// produces at that sequence position.
 pub fn measure_slot(cfg: &Fig5Config, seq: usize) -> f64 {
-    Prelude::new(cfg).measure(cfg, seq).bandwidth_gbps
+    SlotMeasurer::new(cfg).measure(seq)
 }
 
 #[cfg(test)]
@@ -328,5 +370,29 @@ mod tests {
         let a = run(&Fig5Config::quick());
         let b = run(&Fig5Config::quick());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn slot_measurer_reuse_matches_fresh_preludes() {
+        let cfg = Fig5Config::quick();
+        let measurer = SlotMeasurer::new(&cfg);
+        assert_eq!(measurer.slot_count(), slot_count(&cfg));
+        for seq in [0, 3, slot_count(&cfg) - 1] {
+            assert_eq!(
+                measurer.measure(seq).to_bits(),
+                measure_slot(&cfg, seq).to_bits(),
+                "slot {seq}: shared-prelude measurement diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn slot_labels_match_per_slot_labels() {
+        let cfg = Fig5Config::quick();
+        let labels = slot_labels(&cfg);
+        assert_eq!(labels.len(), slot_count(&cfg));
+        for seq in [0, 1, slot_count(&cfg) / 2, slot_count(&cfg) - 1] {
+            assert_eq!(labels[seq], slot_label(&cfg, seq));
+        }
     }
 }

@@ -15,15 +15,26 @@ pub fn digest(values: impl IntoIterator<Item = f64>) -> u64 {
         .fold(0u64, |h, v| h.rotate_left(7) ^ v.to_bits())
 }
 
-/// Digest of Figure 3 quick-config output (all three scaling panels).
-pub fn fig3_quick() -> u64 {
-    let r = fig3::run(&fig3::Fig3Config::quick());
+/// Digest of Figure 3 output (all three scaling panels) for an
+/// arbitrary config — the quick and paper grids pin the same stream.
+fn fig3_digest(cfg: &fig3::Fig3Config) -> u64 {
+    let r = fig3::run(cfg);
     digest(
         [&r.linpack, &r.specfem, &r.bigdft]
             .into_iter()
             .flat_map(|s| s.points.iter().flat_map(|p| [p.speedup, p.efficiency]))
             .chain([r.core_gflops]),
     )
+}
+
+/// Digest of Figure 3 quick-config output (all three scaling panels).
+pub fn fig3_quick() -> u64 {
+    fig3_digest(&fig3::Fig3Config::quick())
+}
+
+/// Digest of Figure 3 over the full paper grid.
+pub fn fig3_paper() -> u64 {
+    fig3_digest(&fig3::Fig3Config::paper())
 }
 
 /// Digest of the fault-injected Figure 3 quick run under
@@ -33,7 +44,17 @@ pub fn fig3_quick() -> u64 {
 /// generation, fabric fault windows, retry/backoff, crash degradation —
 /// replays bit-identically at any worker count and in both builds.
 pub fn fig3_faulted_quick() -> u64 {
-    let r = fig3::run_faulted(&fig3::Fig3Config::quick(), FaultConfig::light());
+    fig3_faulted_digest(&fig3::Fig3Config::quick())
+}
+
+/// Digest of the fault-injected Figure 3 run over the full paper grid
+/// (see [`fig3_faulted_quick`] for the stream layout).
+pub fn fig3_faulted_paper() -> u64 {
+    fig3_faulted_digest(&fig3::Fig3Config::paper())
+}
+
+fn fig3_faulted_digest(cfg: &fig3::Fig3Config) -> u64 {
+    let r = fig3::run_faulted(cfg, FaultConfig::light());
     digest(
         [&r.linpack, &r.specfem, &r.bigdft]
             .into_iter()
@@ -68,13 +89,31 @@ pub fn fig3_faulted_quick_joules() -> f64 {
 
 /// Digest of Figure 5 quick-config output (every bandwidth sample).
 pub fn fig5_quick() -> u64 {
-    let r = fig5::run(&fig5::Fig5Config::quick());
+    fig5_digest(&fig5::Fig5Config::quick())
+}
+
+/// Digest of Figure 5 over the paper grid's 2 100 RT-anomaly samples.
+pub fn fig5_paper() -> u64 {
+    fig5_digest(&fig5::Fig5Config::paper())
+}
+
+fn fig5_digest(cfg: &fig5::Fig5Config) -> u64 {
+    let r = fig5::run(cfg);
     digest(r.samples.iter().map(|s| s.bandwidth_gbps))
 }
 
 /// Digest of Figure 7 quick-config output (both unroll panels).
 pub fn fig7_quick() -> u64 {
-    let r = fig7::run(&fig7::Fig7Config::quick());
+    fig7_digest(&fig7::Fig7Config::quick())
+}
+
+/// Digest of Figure 7 over the paper grid.
+pub fn fig7_paper() -> u64 {
+    fig7_digest(&fig7::Fig7Config::paper())
+}
+
+fn fig7_digest(cfg: &fig7::Fig7Config) -> u64 {
+    let r = fig7::run(cfg);
     digest(
         [&r.nehalem, &r.tegra2].into_iter().flat_map(|p| {
             p.points
@@ -86,7 +125,16 @@ pub fn fig7_quick() -> u64 {
 
 /// Digest of Table II quick-config output (all ratio columns).
 pub fn table2_quick() -> u64 {
-    let r = table2::run_extended(&table2::Table2Config::quick());
+    table2_digest(&table2::Table2Config::quick())
+}
+
+/// Digest of extended Table II over the paper config.
+pub fn table2_paper() -> u64 {
+    table2_digest(&table2::Table2Config::paper())
+}
+
+fn table2_digest(cfg: &table2::Table2Config) -> u64 {
+    let r = table2::run_extended(cfg);
     digest(
         r.rows
             .iter()
@@ -109,3 +157,15 @@ pub const FIG3_FAULTED_QUICK_DIGEST: u64 = 0x8ce8_a81a_59cb_2163;
 /// campaign's energy to solution including retransmissions
 /// (≈ 150 115.41 J for the quick grids under light faults).
 pub const FIG3_FAULTED_QUICK_JOULES_BITS: u64 = 0x4102_531b_4c71_b00a;
+/// Pinned digest of [`fig3_paper`] — the full paper grid behind the
+/// figure. The `mb-lab` campaign registry mirrors all five paper
+/// constants; `campaign_digests.rs` asserts the mirrors stay equal.
+pub const FIG3_PAPER_DIGEST: u64 = 0x622e_3c14_cb8e_59b9;
+/// Pinned digest of [`fig3_faulted_paper`].
+pub const FIG3_FAULTED_PAPER_DIGEST: u64 = 0x7c65_dc30_f714_ac45;
+/// Pinned digest of [`fig5_paper`].
+pub const FIG5_PAPER_DIGEST: u64 = 0xc49f_00d6_ca0a_c4ad;
+/// Pinned digest of [`fig7_paper`].
+pub const FIG7_PAPER_DIGEST: u64 = 0x9080_737c_78a9_66c3;
+/// Pinned digest of [`table2_paper`].
+pub const TABLE2_PAPER_DIGEST: u64 = 0x8bd9_f1e8_0879_d505;

@@ -68,3 +68,63 @@ fn table2_quick_output_is_pinned() {
          re-pin TABLE2_QUICK_DIGEST in tests/common/digest.rs"
     );
 }
+
+// The paper grids are the figures as published; their pins gate the
+// `-paper` campaigns in `mb-lab` (whose registry mirrors these
+// constants). They cost seconds rather than milliseconds, so they live
+// in their own tests instead of piggybacking on the quick pins.
+
+#[test]
+fn fig3_paper_output_is_pinned() {
+    assert_eq!(
+        digest::fig3_paper(),
+        digest::FIG3_PAPER_DIGEST,
+        "Figure 3 paper-grid output changed bit-identity; if intentional, \
+         re-pin FIG3_PAPER_DIGEST in tests/common/digest.rs and the \
+         mb-lab registry mirror"
+    );
+}
+
+#[test]
+fn fig3_faulted_paper_output_is_pinned() {
+    assert_eq!(
+        digest::fig3_faulted_paper(),
+        digest::FIG3_FAULTED_PAPER_DIGEST,
+        "fault-injected Figure 3 paper-grid output changed bit-identity; \
+         if intentional, re-pin FIG3_FAULTED_PAPER_DIGEST in \
+         tests/common/digest.rs and the mb-lab registry mirror"
+    );
+}
+
+#[test]
+fn fig5_paper_output_is_pinned() {
+    assert_eq!(
+        digest::fig5_paper(),
+        digest::FIG5_PAPER_DIGEST,
+        "Figure 5 paper-grid output changed bit-identity; if intentional, \
+         re-pin FIG5_PAPER_DIGEST in tests/common/digest.rs and the \
+         mb-lab registry mirror"
+    );
+}
+
+#[test]
+fn fig7_paper_output_is_pinned() {
+    assert_eq!(
+        digest::fig7_paper(),
+        digest::FIG7_PAPER_DIGEST,
+        "Figure 7 paper-grid output changed bit-identity; if intentional, \
+         re-pin FIG7_PAPER_DIGEST in tests/common/digest.rs and the \
+         mb-lab registry mirror"
+    );
+}
+
+#[test]
+fn table2_paper_output_is_pinned() {
+    assert_eq!(
+        digest::table2_paper(),
+        digest::TABLE2_PAPER_DIGEST,
+        "extended Table II paper output changed bit-identity; if \
+         intentional, re-pin TABLE2_PAPER_DIGEST in \
+         tests/common/digest.rs and the mb-lab registry mirror"
+    );
+}

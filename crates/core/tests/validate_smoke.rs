@@ -41,6 +41,28 @@ fn figures_run_bit_identical_under_validation() {
 }
 
 #[test]
+fn paper_grids_run_bit_identical_under_validation() {
+    // Same pins as figure_digests.rs for the full paper() grids — the
+    // sanitizer build must reproduce the published figures bit for bit.
+    assert_eq!(digest::fig3_paper(), digest::FIG3_PAPER_DIGEST);
+    assert_eq!(digest::fig3_faulted_paper(), digest::FIG3_FAULTED_PAPER_DIGEST);
+    assert_eq!(digest::fig5_paper(), digest::FIG5_PAPER_DIGEST);
+    assert_eq!(digest::fig7_paper(), digest::FIG7_PAPER_DIGEST);
+    assert_eq!(digest::table2_paper(), digest::TABLE2_PAPER_DIGEST);
+}
+
+#[test]
+fn specfem_calibration_runs_once_per_process() {
+    // The Tegra2 GFLOPS calibration is a pure deterministic measurement;
+    // campaigns, run_on and finalize must share one cached result. The
+    // counter only exists under the validate feature.
+    let a = montblanc::fig3::tegra2_effective_gflops();
+    let b = montblanc::fig3::tegra2_effective_gflops();
+    assert_eq!(a.to_bits(), b.to_bits());
+    assert_eq!(montblanc::fig3::tegra2_calibration_count(), 1);
+}
+
+#[test]
 fn generated_cluster_trace_is_well_formed() {
     let report = fig4::run(&fig4::Fig4Config::quick());
     let violations = trace_violations(&report.trace);

@@ -10,6 +10,13 @@
 //! `montblanc` itself; the registry's job is only to route slots and
 //! streams, never to do arithmetic of its own.
 //!
+//! Every figure campaign comes in two grids: the `-quick` test
+//! configuration and the `-paper` grid behind the paper's headline
+//! artifacts (Fig 3 strong scaling, Fig 5's 2 100-measurement RT
+//! sweep, Fig 7, Table II). The paper campaigns are the long-running
+//! sharded workload the driver was built for; `EXPERIMENTS.md` has the
+//! runbook.
+//!
 //! The pinned digests repeated here mirror the constants in
 //! `crates/core/tests/common/digest.rs`; `campaign_digests.rs` asserts
 //! the two sets stay equal.
@@ -17,6 +24,7 @@
 use mb_faults::FaultConfig;
 use mb_simcore::par::TaskCtx;
 use montblanc::{fig3, fig5, fig7, table2, top500};
+use std::sync::OnceLock;
 
 /// Pinned digest of the `fig3-quick` campaign (mirrors
 /// `FIG3_QUICK_DIGEST` in the core test fixtures).
@@ -29,6 +37,17 @@ pub const FIG5_QUICK_DIGEST: u64 = 0x206e_118a_c499_7a4c;
 pub const FIG7_QUICK_DIGEST: u64 = 0xa5a1_d292_2006_e451;
 /// Pinned digest of the `table2-quick` campaign.
 pub const TABLE2_QUICK_DIGEST: u64 = 0xe2a5_d2bf_61fb_fbcf;
+/// Pinned digest of the `fig3-paper` campaign (mirrors
+/// `FIG3_PAPER_DIGEST` in the core test fixtures).
+pub const FIG3_PAPER_DIGEST: u64 = 0x622e_3c14_cb8e_59b9;
+/// Pinned digest of the `fig3-faulted-paper` campaign.
+pub const FIG3_FAULTED_PAPER_DIGEST: u64 = 0x7c65_dc30_f714_ac45;
+/// Pinned digest of the `fig5-paper` campaign.
+pub const FIG5_PAPER_DIGEST: u64 = 0xc49f_00d6_ca0a_c4ad;
+/// Pinned digest of the `fig7-paper` campaign.
+pub const FIG7_PAPER_DIGEST: u64 = 0x9080_737c_78a9_66c3;
+/// Pinned digest of the `table2-paper` campaign.
+pub const TABLE2_PAPER_DIGEST: u64 = 0x8bd9_f1e8_0879_d505;
 /// Pinned digest of the `top500-trends` campaign (pinned here first —
 /// the trend fits had no digest guard before `mb-lab`).
 pub const TOP500_TRENDS_DIGEST: u64 = 0xe0c5_c859_2a9b_23ef;
@@ -39,6 +58,29 @@ pub fn digest(values: impl IntoIterator<Item = f64>) -> u64 {
     values
         .into_iter()
         .fold(0u64, |h, v| h.rotate_left(7) ^ v.to_bits())
+}
+
+/// Which configuration grid a figure campaign drives: the fast test
+/// grid or the full grid behind the paper's plots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Grid {
+    /// The `Config::quick()` test grid.
+    Quick,
+    /// The `Config::paper()` full grid.
+    Paper,
+}
+
+/// Seed salt distinguishing a paper campaign's journal family from its
+/// quick sibling — a paper shard can never resume into a quick journal.
+const PAPER_SEED_SALT: u64 = 0x9A9E12;
+
+impl Grid {
+    fn seed(self, base: u64) -> u64 {
+        match self {
+            Grid::Quick => base,
+            Grid::Paper => base ^ PAPER_SEED_SALT,
+        }
+    }
 }
 
 /// A sweep the driver can run slot by slot, persist, shard and resume.
@@ -69,28 +111,55 @@ pub trait Campaign: Sync {
     /// The pinned digest of [`Campaign::finalize`]'s stream, when this
     /// campaign has one.
     fn pinned_digest(&self) -> Option<u64>;
+
+    /// Width every slot payload must have, when the campaign's payloads
+    /// are fixed-width. The driver rejects journal records of any other
+    /// width before they can reach [`Campaign::finalize`] — a short
+    /// payload must surface as a journal error, never a slice panic.
+    fn payload_width(&self) -> Option<usize> {
+        None
+    }
 }
 
-/// Figure 3 strong scaling (quick config): one slot per
-/// `(panel, core count)` point.
-struct Fig3Quick;
+/// Figure 3 strong scaling: one slot per `(panel, core count)` point.
+struct Fig3Scaling {
+    grid: Grid,
+}
 
-/// Shared slot runner for the healthy Figure 3 campaign.
-impl Campaign for Fig3Quick {
+impl Fig3Scaling {
+    fn config(&self) -> fig3::Fig3Config {
+        match self.grid {
+            Grid::Quick => fig3::Fig3Config::quick(),
+            Grid::Paper => fig3::Fig3Config::paper(),
+        }
+    }
+}
+
+impl Campaign for Fig3Scaling {
     fn name(&self) -> &'static str {
-        "fig3-quick"
+        match self.grid {
+            Grid::Quick => "fig3-quick",
+            Grid::Paper => "fig3-paper",
+        }
     }
 
     fn description(&self) -> &'static str {
-        "Figure 3 strong scaling (LINPACK/SPECFEM3D/BigDFT on Tibidabo), quick grid"
+        match self.grid {
+            Grid::Quick => {
+                "Figure 3 strong scaling (LINPACK/SPECFEM3D/BigDFT on Tibidabo), quick grid"
+            }
+            Grid::Paper => {
+                "Figure 3 strong scaling (LINPACK/SPECFEM3D/BigDFT on Tibidabo), full paper grid"
+            }
+        }
     }
 
     fn seed(&self) -> u64 {
-        0x5CA1E
+        self.grid.seed(0x5CA1E)
     }
 
     fn task_labels(&self) -> Vec<String> {
-        let cfg = fig3::Fig3Config::quick();
+        let cfg = self.config();
         fig3::scaling_slots(&cfg)
             .into_iter()
             .map(|(panel, cores)| fig3::slot_label(panel, cores))
@@ -98,52 +167,75 @@ impl Campaign for Fig3Quick {
     }
 
     fn run_slot(&self, ctx: TaskCtx) -> Vec<f64> {
-        let cfg = fig3::Fig3Config::quick();
+        let cfg = self.config();
         let (panel, cores) = fig3::scaling_slots(&cfg)[ctx.index];
         let rate = fig3::tegra2_effective_gflops();
         vec![fig3::measure_scaling_slot(&cfg, panel, cores, rate)]
     }
 
     fn finalize(&self, slots: &[Vec<f64>]) -> Vec<f64> {
-        let cfg = fig3::Fig3Config::quick();
+        let cfg = self.config();
         let times: Vec<f64> = slots.iter().map(|p| p[0]).collect();
         fig3::scaling_stream(&cfg, fig3::tegra2_effective_gflops(), &times)
     }
 
     fn pinned_digest(&self) -> Option<u64> {
-        Some(FIG3_QUICK_DIGEST)
+        Some(match self.grid {
+            Grid::Quick => FIG3_QUICK_DIGEST,
+            Grid::Paper => FIG3_PAPER_DIGEST,
+        })
+    }
+
+    fn payload_width(&self) -> Option<usize> {
+        Some(1)
     }
 }
 
-/// Figure 3 under `FaultConfig::light` (quick config).
-struct Fig3FaultedQuick;
+/// Figure 3 under `FaultConfig::light`, with resilience counters.
+struct Fig3Faulted {
+    grid: Grid,
+}
 
-impl Campaign for Fig3FaultedQuick {
+impl Fig3Faulted {
+    fn config(&self) -> fig3::Fig3Config {
+        Fig3Scaling { grid: self.grid }.config()
+    }
+}
+
+impl Campaign for Fig3Faulted {
     fn name(&self) -> &'static str {
-        "fig3-faulted-quick"
+        match self.grid {
+            Grid::Quick => "fig3-faulted-quick",
+            Grid::Paper => "fig3-faulted-paper",
+        }
     }
 
     fn description(&self) -> &'static str {
-        "Figure 3 scaling under light injected faults, with resilience counters"
+        match self.grid {
+            Grid::Quick => "Figure 3 scaling under light injected faults, with resilience counters",
+            Grid::Paper => {
+                "Figure 3 full paper grid under light injected faults, with resilience counters"
+            }
+        }
     }
 
     fn seed(&self) -> u64 {
-        0x5CA1E ^ 0xFA017
+        self.grid.seed(0x5CA1E ^ 0xFA017)
     }
 
     fn task_labels(&self) -> Vec<String> {
-        Fig3Quick.task_labels()
+        Fig3Scaling { grid: self.grid }.task_labels()
     }
 
     fn run_slot(&self, ctx: TaskCtx) -> Vec<f64> {
-        let cfg = fig3::Fig3Config::quick();
+        let cfg = self.config();
         let (panel, cores) = fig3::scaling_slots(&cfg)[ctx.index];
         let rate = fig3::tegra2_effective_gflops();
         fig3::measure_faulted_slot(&cfg, FaultConfig::light(), panel, cores, rate).to_vec()
     }
 
     fn finalize(&self, slots: &[Vec<f64>]) -> Vec<f64> {
-        let cfg = fig3::Fig3Config::quick();
+        let cfg = self.config();
         let payloads: Vec<[f64; 6]> = slots
             .iter()
             .map(|p| {
@@ -156,37 +248,75 @@ impl Campaign for Fig3FaultedQuick {
     }
 
     fn pinned_digest(&self) -> Option<u64> {
-        Some(FIG3_FAULTED_QUICK_DIGEST)
+        Some(match self.grid {
+            Grid::Quick => FIG3_FAULTED_QUICK_DIGEST,
+            Grid::Paper => FIG3_FAULTED_PAPER_DIGEST,
+        })
+    }
+
+    fn payload_width(&self) -> Option<usize> {
+        Some(6)
     }
 }
 
-/// Figure 5 RT-anomaly bandwidth sweep (quick config): one slot per
-/// measurement in sequence order.
-struct Fig5Quick;
+/// Figure 5 RT-anomaly bandwidth sweep: one slot per measurement in
+/// sequence order. The serial prelude (randomised plan, anomaly window,
+/// order-dependent page allocations) is built once per process and
+/// shared across slots — the paper grid has 2 100 of them, and a
+/// per-slot prelude would make the campaign quadratic in the grid.
+struct Fig5Anomaly {
+    grid: Grid,
+    measurer: OnceLock<fig5::SlotMeasurer>,
+}
 
-impl Campaign for Fig5Quick {
+impl Fig5Anomaly {
+    fn new(grid: Grid) -> Self {
+        Fig5Anomaly {
+            grid,
+            measurer: OnceLock::new(),
+        }
+    }
+
+    fn config(&self) -> fig5::Fig5Config {
+        match self.grid {
+            Grid::Quick => fig5::Fig5Config::quick(),
+            Grid::Paper => fig5::Fig5Config::paper(),
+        }
+    }
+
+    fn measurer(&self) -> &fig5::SlotMeasurer {
+        self.measurer
+            .get_or_init(|| fig5::SlotMeasurer::new(&self.config()))
+    }
+}
+
+impl Campaign for Fig5Anomaly {
     fn name(&self) -> &'static str {
-        "fig5-quick"
+        match self.grid {
+            Grid::Quick => "fig5-quick",
+            Grid::Paper => "fig5-paper",
+        }
     }
 
     fn description(&self) -> &'static str {
-        "Figure 5 Snowball bandwidth under the RT scheduling anomaly, quick grid"
+        match self.grid {
+            Grid::Quick => "Figure 5 Snowball bandwidth under the RT scheduling anomaly, quick grid",
+            Grid::Paper => {
+                "Figure 5 Snowball bandwidth under the RT anomaly, paper grid (50 sizes x 42 reps)"
+            }
+        }
     }
 
     fn seed(&self) -> u64 {
-        0xF165
+        self.grid.seed(0xF165)
     }
 
     fn task_labels(&self) -> Vec<String> {
-        let cfg = fig5::Fig5Config::quick();
-        (0..fig5::slot_count(&cfg))
-            .map(|seq| fig5::slot_label(&cfg, seq))
-            .collect()
+        fig5::slot_labels(&self.config())
     }
 
     fn run_slot(&self, ctx: TaskCtx) -> Vec<f64> {
-        let cfg = fig5::Fig5Config::quick();
-        vec![fig5::measure_slot(&cfg, ctx.index)]
+        vec![self.measurer().measure(ctx.index)]
     }
 
     fn finalize(&self, slots: &[Vec<f64>]) -> Vec<f64> {
@@ -194,36 +324,60 @@ impl Campaign for Fig5Quick {
     }
 
     fn pinned_digest(&self) -> Option<u64> {
-        Some(FIG5_QUICK_DIGEST)
+        Some(match self.grid {
+            Grid::Quick => FIG5_QUICK_DIGEST,
+            Grid::Paper => FIG5_PAPER_DIGEST,
+        })
+    }
+
+    fn payload_width(&self) -> Option<usize> {
+        Some(1)
     }
 }
 
-/// Figure 7 magicfilter auto-tuning (quick config): one slot per
-/// `(machine, unroll)` variant.
-struct Fig7Quick;
+/// Figure 7 magicfilter auto-tuning: one slot per `(machine, unroll)`
+/// variant.
+struct Fig7Tuning {
+    grid: Grid,
+}
 
-impl Campaign for Fig7Quick {
+impl Fig7Tuning {
+    fn config(&self) -> fig7::Fig7Config {
+        match self.grid {
+            Grid::Quick => fig7::Fig7Config::quick(),
+            Grid::Paper => fig7::Fig7Config::paper(),
+        }
+    }
+}
+
+impl Campaign for Fig7Tuning {
     fn name(&self) -> &'static str {
-        "fig7-quick"
+        match self.grid {
+            Grid::Quick => "fig7-quick",
+            Grid::Paper => "fig7-paper",
+        }
     }
 
     fn description(&self) -> &'static str {
-        "Figure 7 magicfilter unroll sweep on Nehalem and Tegra2, quick grid"
+        match self.grid {
+            Grid::Quick => "Figure 7 magicfilter unroll sweep on Nehalem and Tegra2, quick grid",
+            Grid::Paper => "Figure 7 magicfilter unroll sweep on Nehalem and Tegra2, paper grid",
+        }
     }
 
     fn seed(&self) -> u64 {
-        0xF167
+        self.grid.seed(0xF167)
     }
 
     fn task_labels(&self) -> Vec<String> {
-        let cfg = fig7::Fig7Config::quick();
+        let cfg = self.config();
         (0..fig7::slot_count(&cfg))
             .map(|slot| fig7::slot_label(&cfg, slot))
             .collect()
     }
 
     fn run_slot(&self, ctx: TaskCtx) -> Vec<f64> {
-        let cfg = fig7::Fig7Config::quick();
+        let cfg = self.config();
         fig7::measure_slot(&cfg, ctx.index).to_vec()
     }
 
@@ -232,25 +386,48 @@ impl Campaign for Fig7Quick {
     }
 
     fn pinned_digest(&self) -> Option<u64> {
-        Some(FIG7_QUICK_DIGEST)
+        Some(match self.grid {
+            Grid::Quick => FIG7_QUICK_DIGEST,
+            Grid::Paper => FIG7_PAPER_DIGEST,
+        })
+    }
+
+    fn payload_width(&self) -> Option<usize> {
+        Some(2)
     }
 }
 
-/// Extended Table II (quick config): one slot per `(row, machine)`
-/// cell.
-struct Table2Quick;
+/// Extended Table II: one slot per `(row, machine)` cell.
+struct Table2Extended {
+    grid: Grid,
+}
 
-impl Campaign for Table2Quick {
+impl Table2Extended {
+    fn config(&self) -> table2::Table2Config {
+        match self.grid {
+            Grid::Quick => table2::Table2Config::quick(),
+            Grid::Paper => table2::Table2Config::paper(),
+        }
+    }
+}
+
+impl Campaign for Table2Extended {
     fn name(&self) -> &'static str {
-        "table2-quick"
+        match self.grid {
+            Grid::Quick => "table2-quick",
+            Grid::Paper => "table2-paper",
+        }
     }
 
     fn description(&self) -> &'static str {
-        "Extended Table II single-node comparison (Snowball vs Xeon), quick config"
+        match self.grid {
+            Grid::Quick => "Extended Table II single-node comparison (Snowball vs Xeon), quick config",
+            Grid::Paper => "Extended Table II single-node comparison (Snowball vs Xeon), paper config",
+        }
     }
 
     fn seed(&self) -> u64 {
-        0x7AB1E2
+        self.grid.seed(0x7AB1E2)
     }
 
     fn task_labels(&self) -> Vec<String> {
@@ -260,7 +437,7 @@ impl Campaign for Table2Quick {
     }
 
     fn run_slot(&self, ctx: TaskCtx) -> Vec<f64> {
-        let cfg = table2::Table2Config::quick();
+        let cfg = self.config();
         vec![table2::measure_cell(&cfg, ctx.index)]
     }
 
@@ -270,7 +447,14 @@ impl Campaign for Table2Quick {
     }
 
     fn pinned_digest(&self) -> Option<u64> {
-        Some(TABLE2_QUICK_DIGEST)
+        Some(match self.grid {
+            Grid::Quick => TABLE2_QUICK_DIGEST,
+            Grid::Paper => TABLE2_PAPER_DIGEST,
+        })
+    }
+
+    fn payload_width(&self) -> Option<usize> {
+        Some(1)
     }
 }
 
@@ -355,16 +539,26 @@ impl Campaign for Selftest {
     fn pinned_digest(&self) -> Option<u64> {
         None
     }
+
+    fn payload_width(&self) -> Option<usize> {
+        Some(3)
+    }
 }
 
-/// Every registered campaign, in listing order.
+/// Every registered campaign, in listing order: quick grids, the five
+/// paper grids, then the unparameterised campaigns.
 pub fn registry() -> Vec<Box<dyn Campaign>> {
     vec![
-        Box::new(Fig3Quick),
-        Box::new(Fig3FaultedQuick),
-        Box::new(Fig5Quick),
-        Box::new(Fig7Quick),
-        Box::new(Table2Quick),
+        Box::new(Fig3Scaling { grid: Grid::Quick }),
+        Box::new(Fig3Faulted { grid: Grid::Quick }),
+        Box::new(Fig5Anomaly::new(Grid::Quick)),
+        Box::new(Fig7Tuning { grid: Grid::Quick }),
+        Box::new(Table2Extended { grid: Grid::Quick }),
+        Box::new(Fig3Scaling { grid: Grid::Paper }),
+        Box::new(Fig3Faulted { grid: Grid::Paper }),
+        Box::new(Fig5Anomaly::new(Grid::Paper)),
+        Box::new(Fig7Tuning { grid: Grid::Paper }),
+        Box::new(Table2Extended { grid: Grid::Paper }),
         Box::new(Top500Trends),
         Box::new(Selftest),
     ]

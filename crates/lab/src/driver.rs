@@ -13,8 +13,14 @@
 //!    shard owns (`slot % N == i`), on the deterministic sweep pool,
 //!    appending each result to the journal the moment it completes —
 //!    so a `SIGKILL` at any instant loses at most the in-flight slots.
-//! 4. When the shard's slots are all present, a single-shard run (or a
-//!    merged journal) finalizes the stream and reports its digest.
+//!    [`RunOptions::max_slots`] bounds how many of those slots one
+//!    invocation attempts (in ascending slot order), so CI can smoke a
+//!    truncated paper shard deterministically; wall time per executed
+//!    slot is reported back in [`RunOutcome::slot_secs`].
+//! 4. When every slot of the campaign is present, a single-shard run
+//!    (or a merged journal) finalizes the stream and reports its
+//!    digest. A bounded run that leaves slots behind simply stops; the
+//!    next unbounded invocation completes it.
 
 use crate::campaign::{digest, Campaign};
 use crate::journal::{Journal, JournalError, JournalHeader};
@@ -51,6 +57,32 @@ impl Shard {
     }
 }
 
+/// Knobs for one driver invocation beyond the campaign itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOptions {
+    /// This process's shard assignment.
+    pub shard: Shard,
+    /// Fixed `thread::sleep` injected before every slot measurement —
+    /// the kill/resume integration test uses it to widen the window in
+    /// which a signal lands mid-sweep. Zero in normal operation.
+    pub task_delay_ms: u64,
+    /// Upper bound on slots *executed* by this invocation (replayed
+    /// slots are free). The lowest-indexed missing owned slots run
+    /// first, so repeated bounded invocations walk the shard
+    /// deterministically front to back.
+    pub max_slots: Option<usize>,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            shard: Shard::solo(),
+            task_delay_ms: 0,
+            max_slots: None,
+        }
+    }
+}
+
 /// Outcome of one `run_campaign` invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunOutcome {
@@ -58,10 +90,16 @@ pub struct RunOutcome {
     pub replayed: usize,
     /// Slots executed in this process.
     pub executed: usize,
+    /// Owned slots still missing after this invocation (nonzero only
+    /// for bounded runs).
+    pub remaining: usize,
+    /// Wall time of every slot executed in this process, as
+    /// `(slot, seconds)` in ascending slot order.
+    pub slot_secs: Vec<(usize, f64)>,
     /// Whether a torn journal tail was dropped during replay.
     pub recovered_torn_tail: bool,
     /// Digest of the finalized stream — only for a complete (solo or
-    /// merged) journal; sharded runs finish their partition and stop.
+    /// merged) journal; sharded and bounded runs stop short of it.
     pub digest: Option<u64>,
 }
 
@@ -76,28 +114,55 @@ pub fn expected_header(campaign: &dyn Campaign, shard: Shard) -> JournalHeader {
     }
 }
 
-/// Runs (or resumes) one shard of a campaign against its journal.
-///
-/// `task_delay_ms` injects a fixed `thread::sleep` before every slot
-/// measurement — the kill/resume integration test uses it to widen the
-/// window in which a signal lands mid-sweep. Zero in normal operation.
+/// Runs (or resumes) one shard of a campaign against its journal with
+/// the default options (see [`run_campaign_with`]).
 ///
 /// # Errors
 ///
-/// Any [`JournalError`] from opening, verifying or appending to the
-/// journal, plus [`JournalError::BadShardFamily`] if a slot execution
-/// dies (surfaced with the failing slot's label).
+/// As [`run_campaign_with`].
 pub fn run_campaign(
     campaign: &dyn Campaign,
     journal_path: &Path,
     shard: Shard,
     task_delay_ms: u64,
 ) -> Result<RunOutcome, JournalError> {
+    run_campaign_with(
+        campaign,
+        journal_path,
+        &RunOptions {
+            shard,
+            task_delay_ms,
+            max_slots: None,
+        },
+    )
+}
+
+/// Runs (or resumes) one shard of a campaign against its journal.
+///
+/// A shard that owns zero slots (possible whenever `shard.count`
+/// exceeds the campaign's task count) is a valid no-op: the journal is
+/// created header-only and the run reports zero replayed/executed
+/// slots. `merge` and `digest --check` accept such journals.
+///
+/// # Errors
+///
+/// Any [`JournalError`] from opening, verifying or appending to the
+/// journal; [`JournalError::BadPayload`] when a journaled record's
+/// width disagrees with the campaign's fixed slot width; plus
+/// [`JournalError::BadShardFamily`] if a slot execution dies (surfaced
+/// with the failing slot's label).
+pub fn run_campaign_with(
+    campaign: &dyn Campaign,
+    journal_path: &Path,
+    opts: &RunOptions,
+) -> Result<RunOutcome, JournalError> {
+    let shard = opts.shard;
     let labels = campaign.task_labels();
     let n = labels.len();
     let journal = Journal::open_or_create(journal_path, expected_header(campaign, shard))?;
     let recovered_torn_tail = journal.torn_tail;
     let replayed = journal.records.len();
+    check_payload_widths(campaign, &journal.records)?;
 
     // Journal records → positional slots; absent ⇒ "not yet run".
     let mut slots: Vec<Result<Vec<f64>, MbError>> = (0..n)
@@ -113,47 +178,70 @@ pub fn run_campaign(
     }
 
     let mut checkpoint = mb_simcore::par::Checkpoint::from_slots(campaign.seed(), slots);
-    let owned_missing: Vec<usize> = checkpoint
+    let mut owned_missing: Vec<usize> = checkpoint
         .missing()
         .into_iter()
         .filter(|&i| shard.owns(i))
         .collect();
+    owned_missing.sort_unstable();
+    let remaining = match opts.max_slots {
+        Some(bound) if bound < owned_missing.len() => {
+            let rest = owned_missing.len() - bound;
+            owned_missing.truncate(bound);
+            rest
+        }
+        _ => 0,
+    };
     let executed = owned_missing.len();
+    let mut attempted = vec![false; n];
+    for &i in &owned_missing {
+        attempted[i] = true;
+    }
 
     // The journal is shared across sweep workers; appends serialize on
     // the mutex, so record order is append order (not slot order) —
     // the chain only certifies integrity, the slot index carries
-    // position.
-    let journal = Mutex::new(journal);
+    // position. Slot wall times ride along under the same lock.
+    let journal = Mutex::new((journal, Vec::<(usize, f64)>::new()));
     let tasks: Vec<(String, usize)> = labels
         .iter()
         .enumerate()
         .map(|(i, l)| (l.clone(), i))
         .collect();
     checkpoint.resume_slots(tasks, &owned_missing, |ctx, _slot| {
-        if task_delay_ms > 0 {
-            std::thread::sleep(std::time::Duration::from_millis(task_delay_ms));
+        if opts.task_delay_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(opts.task_delay_ms));
         }
+        // Wall time is reporting-only: it never feeds a measurement or
+        // a digest, so the determinism contract is untouched.
+        let started = std::time::Instant::now(); // mb-check: allow(wall-clock-in-model)
         let payload = campaign.run_slot(ctx);
-        journal
-            .lock()
+        let secs = started.elapsed().as_secs_f64(); // mb-check: allow(wall-clock-in-model)
+        let mut shared = journal.lock();
+        shared
+            .0
             .append(ctx.index, &payload)
             .expect("journal append of a freshly measured, owned slot");
+        shared.1.push((ctx.index, secs));
         payload
     });
+    let (_, mut slot_secs) = journal.into_inner();
+    slot_secs.sort_unstable_by_key(|&(slot, _)| slot);
 
-    // A panicking slot surfaces as a TaskFailed entry; report the first.
+    // A panicking slot surfaces as a TaskFailed entry; report the first
+    // among the slots this invocation actually attempted (slots beyond
+    // the bound or owned by other shards are legitimately "not yet run").
     if let Some((slot, err)) = checkpoint
         .failures()
         .into_iter()
-        .find(|(i, _)| shard.owns(*i))
+        .find(|(i, _)| attempted[*i])
     {
         return Err(JournalError::BadShardFamily {
             detail: format!("slot {slot} failed: {err}"),
         });
     }
 
-    let final_digest = if shard.count == 1 {
+    let final_digest = if shard.count == 1 && checkpoint.is_complete() {
         let payloads: Vec<Vec<f64>> = checkpoint
             .into_slots()
             .into_iter()
@@ -169,9 +257,33 @@ pub fn run_campaign(
     Ok(RunOutcome {
         replayed,
         executed,
+        remaining,
+        slot_secs,
         recovered_torn_tail,
         digest: final_digest,
     })
+}
+
+/// Rejects journaled payloads whose width disagrees with the
+/// campaign's fixed slot width, so a truncated record surfaces as a
+/// [`JournalError::BadPayload`] instead of a slice panic inside the
+/// campaign's finalizer.
+fn check_payload_widths(
+    campaign: &dyn Campaign,
+    records: &[(usize, Vec<f64>)],
+) -> Result<(), JournalError> {
+    if let Some(expected) = campaign.payload_width() {
+        for (slot, payload) in records {
+            if payload.len() != expected {
+                return Err(JournalError::BadPayload {
+                    slot: *slot,
+                    got: payload.len(),
+                    expected,
+                });
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Finalizes a *complete* journal (solo or merged) through its
@@ -180,6 +292,8 @@ pub fn run_campaign(
 /// # Errors
 ///
 /// [`JournalError::IncompleteMerge`] when slots are missing,
+/// [`JournalError::BadPayload`] when a record's width disagrees with
+/// the campaign's fixed slot width,
 /// [`JournalError::BadShardFamily`] when the journal's campaign is not
 /// registered or its header disagrees with the registry.
 pub fn digest_journal(journal: &Journal) -> Result<u64, JournalError> {
@@ -201,6 +315,7 @@ pub fn digest_journal(journal: &Journal) -> Result<u64, JournalError> {
             ),
         });
     }
+    check_payload_widths(campaign.as_ref(), &journal.records)?;
     let mut slots: Vec<Option<Vec<f64>>> = vec![None; journal.header.tasks];
     for (slot, payload) in &journal.records {
         slots[*slot] = Some(payload.clone());

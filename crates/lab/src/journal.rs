@@ -100,6 +100,18 @@ pub enum JournalError {
         /// Slots with no record in any input shard.
         missing: Vec<usize>,
     },
+    /// A record's payload width disagrees with the campaign's
+    /// fixed-width slot contract — e.g. a truncated six-counter faulted
+    /// payload. Surfaced before the payload can reach a finalizer that
+    /// would slice-index it.
+    BadPayload {
+        /// The offending slot index.
+        slot: usize,
+        /// Number of values actually recorded.
+        got: usize,
+        /// Width the campaign's slots produce.
+        expected: usize,
+    },
 }
 
 impl fmt::Display for JournalError {
@@ -138,6 +150,15 @@ impl fmt::Display for JournalError {
             JournalError::IncompleteMerge { missing } => {
                 write!(f, "merge is missing {} slot(s): {missing:?}", missing.len())
             }
+            JournalError::BadPayload {
+                slot,
+                got,
+                expected,
+            } => write!(
+                f,
+                "journal records a {got}-value payload for slot {slot}, campaign slots are \
+                 {expected} values wide"
+            ),
         }
     }
 }

@@ -3,13 +3,20 @@
 //! ```text
 //! mb-lab list
 //! mb-lab run <campaign> --journal <path> [--shard i/N] [--task-delay-ms d]
+//!        [--max-slots n] [--times]
 //! mb-lab merge <out> <in>...
 //! mb-lab digest <journal> [--expect 0xHEX] [--check]
 //! ```
 //!
 //! The shard assignment comes from `--shard i/N` or, failing that, the
-//! `MB_SHARD` environment variable (same syntax); default `0/1`. Worker
-//! threads follow the workspace-wide `MB_THREADS` variable.
+//! `MB_SHARD` environment variable (same syntax); default `0/1`. A
+//! malformed value in either place is a hard error — a worker silently
+//! re-running the whole grid solo is exactly the kind of
+//! measuring-something-else failure the campaign machinery exists to
+//! rule out. `--max-slots n` (or `MB_MAX_SLOTS`) bounds how many slots
+//! one invocation executes so CI can smoke a truncated paper shard;
+//! `--times` prints per-slot wall times. Worker threads follow the
+//! workspace-wide `MB_THREADS` variable.
 
 use mb_lab::{campaign, driver, journal};
 use std::path::{Path, PathBuf};
@@ -18,7 +25,8 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  mb-lab list\n  mb-lab run <campaign> --journal <path> \
-         [--shard i/N] [--task-delay-ms d]\n  mb-lab merge <out> <in>...\n  \
+         [--shard i/N] [--task-delay-ms d] [--max-slots n] [--times]\n  \
+         mb-lab merge <out> <in>...\n  \
          mb-lab digest <journal> [--expect 0xHEX] [--check]"
     );
     ExitCode::from(2)
@@ -59,6 +67,8 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let mut journal_path: Option<PathBuf> = None;
     let mut shard: Option<driver::Shard> = None;
     let mut task_delay_ms = 0u64;
+    let mut max_slots: Option<usize> = None;
+    let mut show_times = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -82,6 +92,18 @@ fn cmd_run(args: &[String]) -> ExitCode {
                 task_delay_ms = d;
                 i += 2;
             }
+            "--max-slots" if i + 1 < args.len() => {
+                let Ok(n) = args[i + 1].parse() else {
+                    eprintln!("mb-lab: bad --max-slots '{}'", args[i + 1]);
+                    return ExitCode::from(2);
+                };
+                max_slots = Some(n);
+                i += 2;
+            }
+            "--times" => {
+                show_times = true;
+                i += 1;
+            }
             other => {
                 eprintln!("mb-lab: unknown run option '{other}'");
                 return usage();
@@ -92,22 +114,70 @@ fn cmd_run(args: &[String]) -> ExitCode {
         eprintln!("mb-lab: run requires --journal <path>");
         return usage();
     };
-    let shard = shard
-        .or_else(|| {
-            std::env::var("MB_SHARD")
-                .ok()
-                .and_then(|v| driver::Shard::parse(&v))
-        })
-        .unwrap_or_else(driver::Shard::solo);
+    // Env fallbacks mirror the flags and share their validation: a
+    // malformed value is a hard error, never a silent default — a
+    // sharded worker that quietly runs the whole grid solo corrupts
+    // the experiment it thinks it is contributing to.
+    let shard = match shard {
+        Some(s) => s,
+        None => match std::env::var("MB_SHARD") {
+            Ok(v) => match driver::Shard::parse(&v) {
+                Some(s) => s,
+                None => {
+                    eprintln!("mb-lab: bad MB_SHARD '{v}': want i/N with i < N");
+                    return ExitCode::from(2);
+                }
+            },
+            Err(_) => driver::Shard::solo(),
+        },
+    };
+    let max_slots = match max_slots {
+        Some(n) => Some(n),
+        None => match std::env::var("MB_MAX_SLOTS") {
+            Ok(v) => match v.parse() {
+                Ok(n) => Some(n),
+                Err(_) => {
+                    eprintln!("mb-lab: bad MB_MAX_SLOTS '{v}': want a slot count");
+                    return ExitCode::from(2);
+                }
+            },
+            Err(_) => None,
+        },
+    };
 
     let Some(c) = campaign::find(name) else {
         eprintln!("mb-lab: unknown campaign '{name}' (try `mb-lab list`)");
         return ExitCode::FAILURE;
     };
-    match driver::run_campaign(c.as_ref(), &journal_path, shard, task_delay_ms) {
+    let opts = driver::RunOptions {
+        shard,
+        task_delay_ms,
+        max_slots,
+    };
+    match driver::run_campaign_with(c.as_ref(), &journal_path, &opts) {
         Ok(outcome) => {
             if outcome.recovered_torn_tail {
                 eprintln!("mb-lab: dropped a torn journal tail (crash recovery)");
+            }
+            if show_times {
+                let labels = c.task_labels();
+                for &(slot, secs) in &outcome.slot_secs {
+                    println!("  slot {slot:>4} {:<24} {secs:>9.4}s", labels[slot]);
+                }
+            }
+            if !outcome.slot_secs.is_empty() {
+                let total: f64 = outcome.slot_secs.iter().map(|&(_, s)| s).sum();
+                let peak = outcome
+                    .slot_secs
+                    .iter()
+                    .map(|&(_, s)| s)
+                    .fold(0.0_f64, f64::max);
+                println!(
+                    "{}: {} slot(s) in {total:.3}s (mean {:.4}s, max {peak:.4}s)",
+                    c.name(),
+                    outcome.slot_secs.len(),
+                    total / outcome.slot_secs.len() as f64
+                );
             }
             print!(
                 "{}: shard {}/{}: {} replayed, {} executed",
@@ -119,6 +189,9 @@ fn cmd_run(args: &[String]) -> ExitCode {
             );
             match outcome.digest {
                 Some(d) => println!(", digest {d:#018x}"),
+                None if outcome.remaining > 0 => {
+                    println!(", {} still missing (bounded run; rerun to continue)", outcome.remaining)
+                }
                 None => println!(" (partial shard; merge to finalize)"),
             }
             ExitCode::SUCCESS

@@ -1,0 +1,172 @@
+//! CLI contract tests for `mb-lab`: environment-variable validation
+//! (a malformed `MB_SHARD`/`MB_MAX_SLOTS` must be a hard error, never a
+//! silent solo run), bounded-run truncation, and the registry listing
+//! the paper campaigns.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mb-lab-cli-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// A command with the sharding environment scrubbed, so the test
+/// process's own environment can never leak into an assertion.
+fn mb_lab() -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_mb-lab"));
+    cmd.env_remove("MB_SHARD").env_remove("MB_MAX_SLOTS");
+    cmd
+}
+
+#[test]
+fn list_shows_every_paper_campaign_with_a_pinned_digest() {
+    let output = mb_lab().arg("list").output().expect("run mb-lab list");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    for name in [
+        "fig3-paper",
+        "fig3-faulted-paper",
+        "fig5-paper",
+        "fig7-paper",
+        "table2-paper",
+    ] {
+        let line = stdout
+            .lines()
+            .find(|l| l.starts_with(name))
+            .unwrap_or_else(|| panic!("`mb-lab list` does not show '{name}':\n{stdout}"));
+        assert!(
+            line.contains("digest 0x"),
+            "paper campaign '{name}' is listed without a pinned digest: {line}"
+        );
+    }
+}
+
+#[test]
+fn malformed_mb_shard_is_a_hard_error() {
+    let dir = scratch("bad-shard");
+    for bad in ["2", "3/2", "x/y", "1/0", ""] {
+        let journal = dir.join("never-created.journal");
+        let output = mb_lab()
+            .args(["run", "selftest", "--journal"])
+            .arg(&journal)
+            .env("MB_SHARD", bad)
+            .output()
+            .expect("run mb-lab");
+        assert_eq!(
+            output.status.code(),
+            Some(2),
+            "MB_SHARD='{bad}' must exit 2, not silently run solo"
+        );
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            stderr.contains("bad MB_SHARD") && stderr.contains("want i/N"),
+            "MB_SHARD='{bad}' diagnostic missing: {stderr}"
+        );
+        assert!(
+            !journal.exists(),
+            "MB_SHARD='{bad}' must fail before touching the journal"
+        );
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn well_formed_mb_shard_is_honored() {
+    let dir = scratch("good-shard");
+    let output = mb_lab()
+        .args(["run", "selftest", "--journal"])
+        .arg(dir.join("shard.journal"))
+        .env("MB_SHARD", "1/3")
+        .output()
+        .expect("run mb-lab");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("shard 1/3") && stdout.contains("partial shard"),
+        "MB_SHARD=1/3 must drive a partial shard run: {stdout}"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_max_slots_is_a_hard_error() {
+    let dir = scratch("bad-max-slots");
+    for (flag_value, env_value) in [(Some("zero"), None), (None, Some("-3")), (None, Some("1/2"))] {
+        let mut cmd = mb_lab();
+        cmd.args(["run", "selftest", "--journal"])
+            .arg(dir.join("never-created.journal"));
+        if let Some(v) = flag_value {
+            cmd.args(["--max-slots", v]);
+        }
+        if let Some(v) = env_value {
+            cmd.env("MB_MAX_SLOTS", v);
+        }
+        let output = cmd.output().expect("run mb-lab");
+        assert_eq!(
+            output.status.code(),
+            Some(2),
+            "max-slots flag={flag_value:?} env={env_value:?} must exit 2"
+        );
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            stderr.contains("max-slots") || stderr.contains("MAX_SLOTS"),
+            "diagnostic missing: {stderr}"
+        );
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bounded_run_truncates_then_completes() {
+    let dir = scratch("bounded");
+    let journal = dir.join("selftest.journal");
+
+    let first = mb_lab()
+        .args(["run", "selftest", "--journal"])
+        .arg(&journal)
+        .args(["--max-slots", "6", "--times"])
+        .output()
+        .expect("bounded run");
+    assert!(first.status.success());
+    let stdout = String::from_utf8_lossy(&first.stdout);
+    assert!(
+        stdout.contains("6 executed") && stdout.contains("10 still missing"),
+        "bounded run must stop at the bound: {stdout}"
+    );
+    assert_eq!(
+        stdout.lines().filter(|l| l.trim_start().starts_with("slot ")).count(),
+        6,
+        "--times must print one wall-time line per executed slot: {stdout}"
+    );
+
+    // MB_MAX_SLOTS is the env spelling of the same bound.
+    let second = mb_lab()
+        .args(["run", "selftest", "--journal"])
+        .arg(&journal)
+        .env("MB_MAX_SLOTS", "4")
+        .output()
+        .expect("env-bounded run");
+    assert!(second.status.success());
+    let stdout = String::from_utf8_lossy(&second.stdout);
+    assert!(
+        stdout.contains("6 replayed, 4 executed") && stdout.contains("6 still missing"),
+        "env-bounded resume must replay then extend: {stdout}"
+    );
+
+    let third = mb_lab()
+        .args(["run", "selftest", "--journal"])
+        .arg(&journal)
+        .output()
+        .expect("completing run");
+    assert!(third.status.success());
+    let stdout = String::from_utf8_lossy(&third.stdout);
+    assert!(
+        stdout.contains("10 replayed, 6 executed") && stdout.contains("digest 0x"),
+        "the unbounded rerun must complete and finalize: {stdout}"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}

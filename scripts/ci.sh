@@ -42,4 +42,27 @@ cargo run --release -p mb-lab --bin mb-lab -- \
 cargo run --release -p mb-lab --bin mb-lab -- \
     digest "$LAB_DIR/merged.journal" --expect 0xd0d5f716d0b30356 --check
 
+echo "==> mb-lab truncated paper-shard smoke (--max-slots, then complete + merge)"
+# The same pipeline over a *paper* grid: both fig5-paper shards first run
+# a --max-slots-truncated prefix (the deterministic front-to-back walk CI
+# can afford), then complete, merge, and must reproduce the pinned
+# paper digest bit for bit.
+SMOKE0="$(cargo run --release -p mb-lab --bin mb-lab -- \
+    run fig5-paper --journal "$LAB_DIR/paper0.journal" --shard 0/2 --max-slots 8)"
+grep -q "8 executed" <<<"$SMOKE0" || { echo "max-slots bound not honored: $SMOKE0"; exit 1; }
+SMOKE1="$(MB_SHARD=1/2 MB_MAX_SLOTS=8 cargo run --release -p mb-lab --bin mb-lab -- \
+    run fig5-paper --journal "$LAB_DIR/paper1.journal")"
+grep -q "8 executed" <<<"$SMOKE1" || { echo "MB_MAX_SLOTS bound not honored: $SMOKE1"; exit 1; }
+cargo run --release -p mb-lab --bin mb-lab -- \
+    run fig5-paper --journal "$LAB_DIR/paper0.journal" --shard 0/2
+MB_SHARD=1/2 cargo run --release -p mb-lab --bin mb-lab -- \
+    run fig5-paper --journal "$LAB_DIR/paper1.journal"
+cargo run --release -p mb-lab --bin mb-lab -- \
+    merge "$LAB_DIR/paper-merged.journal" "$LAB_DIR/paper0.journal" "$LAB_DIR/paper1.journal"
+cargo run --release -p mb-lab --bin mb-lab -- \
+    digest "$LAB_DIR/paper-merged.journal" --expect 0xc49f00d6ca0ac4ad --check
+
+echo "==> campaign_eta (paper-grid cost model -> BENCH_campaigns.json)"
+cargo run --release -p mb-bench --bin campaign_eta
+
 echo "CI green."
