@@ -11,7 +11,7 @@ use mb_cpu::ops::NullExec;
 use mb_kernels::chess;
 use mb_kernels::coremark::CoreMark;
 use mb_kernels::linpack::Linpack;
-use mb_kernels::magicfilter::{magicfilter_3d, Grid3};
+use mb_kernels::magicfilter::{magicfilter_3d, Grid3, MagicfilterWorkspace};
 use mb_kernels::membench::{make_buffer, run as membench_run, run_model, MembenchConfig};
 use mb_kernels::specfem::{Specfem, SpecfemConfig};
 
@@ -84,11 +84,13 @@ fn bench_fig7_modelling(c: &mut Criterion) {
     let grid = Grid3::random(12, 12, 12, 3);
     g.bench_function("nehalem_unroll8", |b| {
         let mut exec = ModelExec::nehalem();
-        b.iter(|| black_box(montblanc::fig7::measure_variant(&grid, 8, &mut exec)))
+        let mut ws = MagicfilterWorkspace::new();
+        b.iter(|| black_box(montblanc::fig7::measure_variant(&grid, 8, &mut exec, &mut ws)))
     });
     g.bench_function("tegra2_unroll8", |b| {
         let mut exec = ModelExec::tegra2();
-        b.iter(|| black_box(montblanc::fig7::measure_variant(&grid, 8, &mut exec)))
+        let mut ws = MagicfilterWorkspace::new();
+        b.iter(|| black_box(montblanc::fig7::measure_variant(&grid, 8, &mut exec, &mut ws)))
     });
     g.finish();
 }

@@ -1,15 +1,22 @@
 //! The determinism rule registry.
 //!
-//! Each rule is a token-level check over stripped source lines (see
+//! Line rules are token-level checks over stripped source lines (see
 //! [`crate::source`]). Rules are scoped: test modules are always exempt
 //! (tests may time things, spawn helpers, unwrap freely), and each rule
 //! declares which crates or files it does not apply to. The scoping
 //! mirrors the determinism contract in DESIGN.md: model code must be a
 //! pure function of its explicit seeds, while the harness crates
 //! (`bench`, `check` itself) are allowed to touch the host.
+//!
+//! Three rules are *workspace* rules rather than line rules: they run
+//! over the cross-crate call graph ([`crate::taint`]) or over pairs of
+//! files ([`digest_pin_findings`]), so [`fire`] never triggers them —
+//! they exist in the registry for naming, `--list-rules`, SARIF rule
+//! metadata and `allow(...)` directives.
 
 use crate::report::Finding;
 use crate::source::SourceFile;
+use crate::FileClass;
 
 /// Identifier of a lint rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -37,10 +44,22 @@ pub enum RuleId {
     /// panic containment is the sweep engine's job, and errors must be
     /// handled or propagated, never swallowed.
     SilentCatch,
+    /// Workspace rule: a function transitively reaches a nondeterminism
+    /// source (wall clock, unseeded RNG, hash-order iteration, rogue
+    /// threads) through the call graph. See [`crate::taint`].
+    DeterminismTaint,
+    /// Workspace rule: a function reachable from a registered slot
+    /// measurer allocates (`Vec::new`, `vec![]`, `format!`, …) inside
+    /// the measured region. See [`crate::taint::hot_alloc_findings`].
+    HotAlloc,
+    /// Workspace rule: every campaign name registered in `crates/lab`
+    /// must have a matching pinned digest constant in the core digest
+    /// fixtures. See [`digest_pin_findings`].
+    DigestPin,
 }
 
 /// Every rule, in reporting order.
-pub const ALL_RULES: [RuleId; 7] = [
+pub const ALL_RULES: [RuleId; 10] = [
     RuleId::HashmapIterOrder,
     RuleId::WallClockInModel,
     RuleId::UnseededRng,
@@ -48,6 +67,9 @@ pub const ALL_RULES: [RuleId; 7] = [
     RuleId::UnwrapInLib,
     RuleId::UnitSuffix,
     RuleId::SilentCatch,
+    RuleId::DeterminismTaint,
+    RuleId::HotAlloc,
+    RuleId::DigestPin,
 ];
 
 impl RuleId {
@@ -61,6 +83,9 @@ impl RuleId {
             RuleId::UnwrapInLib => "unwrap-in-lib",
             RuleId::UnitSuffix => "unit-suffix",
             RuleId::SilentCatch => "silent-catch",
+            RuleId::DeterminismTaint => "determinism-taint",
+            RuleId::HotAlloc => "hot-alloc",
+            RuleId::DigestPin => "digest-pin",
         }
     }
 
@@ -86,12 +111,30 @@ impl RuleId {
             RuleId::SilentCatch => {
                 "no catch_unwind or discarded fallible results outside mb_simcore::par"
             }
+            RuleId::DeterminismTaint => {
+                "no call path from model code to a nondeterminism source (taint over the call graph)"
+            }
+            RuleId::HotAlloc => {
+                "no allocation in functions reachable from registered slot measurers"
+            }
+            RuleId::DigestPin => {
+                "every registered campaign name has a pinned digest constant in the core fixtures"
+            }
         }
     }
 
     /// Looks a rule up by name.
     pub fn from_name(name: &str) -> Option<RuleId> {
         ALL_RULES.iter().copied().find(|r| r.name() == name)
+    }
+
+    /// Workspace rules run over the call graph / file pairs, not line by
+    /// line.
+    pub fn is_workspace_rule(self) -> bool {
+        matches!(
+            self,
+            RuleId::DeterminismTaint | RuleId::HotAlloc | RuleId::DigestPin
+        )
     }
 }
 
@@ -102,17 +145,19 @@ struct FileContext {
     krate: String,
     /// Path relative to the workspace root, `/`-separated.
     rel: String,
+    /// Library code vs test/bench/example context.
+    class: FileClass,
 }
 
 impl FileContext {
-    fn new(rel_path: &str) -> Self {
+    fn new(rel_path: &str, class: FileClass) -> Self {
         let rel = rel_path.replace('\\', "/");
         let krate = rel
             .strip_prefix("crates/")
             .and_then(|r| r.split('/').next())
             .unwrap_or("")
             .to_string();
-        FileContext { krate, rel }
+        FileContext { krate, rel, class }
     }
 
     /// Binary code paths (`src/bin/`, `src/main.rs`): allowed to unwrap —
@@ -171,10 +216,14 @@ const NUMERIC_TYPES: [&str; 13] = [
     "f64",
 ];
 
-/// Runs every rule over one parsed file. `rel_path` is the
-/// workspace-relative path (used for scoping and reporting).
-pub fn check_file(rel_path: &str, src: &SourceFile) -> Vec<Finding> {
-    let ctx = FileContext::new(rel_path);
+/// Runs every line rule over one parsed file. `rel_path` is the
+/// workspace-relative path (used for scoping and reporting); `class`
+/// relaxes the rule set outside library code: integration tests,
+/// benches and examples are harness context, where only `unseeded-rng`
+/// still applies (even harness randomness must be seeded, or sweeps
+/// stop being reproducible).
+pub fn check_file(rel_path: &str, src: &SourceFile, class: FileClass) -> Vec<Finding> {
+    let ctx = FileContext::new(rel_path, class);
     let mut findings = Vec::new();
     for (idx, line) in src.lines.iter().enumerate() {
         if line.in_test {
@@ -182,6 +231,9 @@ pub fn check_file(rel_path: &str, src: &SourceFile) -> Vec<Finding> {
         }
         let lineno = idx + 1;
         for rule in ALL_RULES {
+            if !ctx.class.is_lib() && rule != RuleId::UnseededRng {
+                continue;
+            }
             if line.allows(rule.name()) {
                 continue;
             }
@@ -191,6 +243,7 @@ pub fn check_file(rel_path: &str, src: &SourceFile) -> Vec<Finding> {
                     file: ctx.rel.clone(),
                     line: lineno,
                     message,
+                    symbol: String::new(),
                 });
             }
         }
@@ -199,7 +252,7 @@ pub fn check_file(rel_path: &str, src: &SourceFile) -> Vec<Finding> {
 }
 
 /// Whether `rule` fires on this stripped line in this file; returns the
-/// finding message if so.
+/// finding message if so. Workspace rules never fire here.
 fn fire(rule: RuleId, ctx: &FileContext, code: &str) -> Option<String> {
     match rule {
         RuleId::HashmapIterOrder => {
@@ -270,7 +323,94 @@ fn fire(rule: RuleId, ctx: &FileContext, code: &str) -> Option<String> {
             }
             silent_discard_violation(code)
         }
+        RuleId::DeterminismTaint | RuleId::HotAlloc | RuleId::DigestPin => None,
     }
+}
+
+/// The `digest-pin` workspace rule: every campaign name string returned
+/// by a `fn name` in the lab registry must have a matching
+/// `<NAME>_DIGEST` constant in the core digest fixtures. The rule only
+/// runs when both files are in the scanned set, so partial checkouts
+/// and unit fixtures don't trip it.
+pub fn digest_pin_findings(files: &[crate::FileAnalysis]) -> Vec<Finding> {
+    use crate::lexer::TokenKind;
+    let campaign = files
+        .iter()
+        .find(|f| f.rel.ends_with("crates/lab/src/campaign.rs"));
+    let fixtures = files
+        .iter()
+        .find(|f| f.rel.ends_with("crates/core/tests/common/digest.rs"));
+    let (Some(campaign), Some(fixtures)) = (campaign, fixtures) else {
+        return Vec::new();
+    };
+
+    // Constant names declared in the fixture file: `const <IDENT>` pairs.
+    let mut consts = std::collections::BTreeSet::new();
+    let sig: Vec<&crate::lexer::Token> = fixtures
+        .tokens
+        .iter()
+        .filter(|t| {
+            !matches!(
+                t.kind,
+                TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+            )
+        })
+        .collect();
+    for pair in sig.windows(2) {
+        if pair[0].kind == TokenKind::Ident
+            && pair[0].text(&fixtures.source) == "const"
+            && pair[1].kind == TokenKind::Ident
+        {
+            consts.insert(pair[1].text(&fixtures.source).to_string());
+        }
+    }
+
+    let mut out = Vec::new();
+    for f in &campaign.ast.fns {
+        if f.name != "name" || f.is_test {
+            continue;
+        }
+        for tok in &campaign.tokens[f.body.0..f.body.1.min(campaign.tokens.len())] {
+            if tok.kind != TokenKind::Literal {
+                continue;
+            }
+            let text = tok.text(&campaign.source);
+            let Some(name) = text
+                .strip_prefix('"')
+                .and_then(|s| s.strip_suffix('"'))
+            else {
+                continue;
+            };
+            // Campaign names are kebab-case words; anything else in a
+            // `fn name` body (separators, format pieces) is not one.
+            if name.is_empty()
+                || !name
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+            {
+                continue;
+            }
+            if let Some(l) = campaign.lines.lines.get(tok.line.saturating_sub(1)) {
+                if l.in_test || l.allows("digest-pin") {
+                    continue;
+                }
+            }
+            let want = format!("{}_DIGEST", name.to_uppercase().replace('-', "_"));
+            if !consts.contains(&want) {
+                out.push(Finding {
+                    rule: RuleId::DigestPin.name().to_string(),
+                    file: campaign.rel.clone(),
+                    line: tok.line,
+                    message: format!(
+                        "campaign \"{name}\" has no pinned digest constant `{want}` in \
+                         crates/core/tests/common/digest.rs"
+                    ),
+                    symbol: f.path.clone(),
+                });
+            }
+        }
+    }
+    out
 }
 
 /// Word-boundary token search: `HashMap` must not match `MyHashMapLike`
@@ -360,7 +500,7 @@ mod tests {
     use crate::source::SourceFile;
 
     fn check_snippet(path: &str, src: &str) -> Vec<Finding> {
-        check_file(path, &SourceFile::parse(src))
+        check_file(path, &SourceFile::parse(src), FileClass::Lib)
     }
 
     #[test]
@@ -369,6 +509,21 @@ mod tests {
             assert_eq!(RuleId::from_name(rule.name()), Some(rule));
         }
         assert_eq!(RuleId::from_name("no-such-rule"), None);
+    }
+
+    #[test]
+    fn workspace_rules_never_fire_line_by_line() {
+        // A line that would trip several line rules still produces no
+        // workspace-rule findings; those run over the call graph.
+        let src = "let t = Instant::now(); let m = HashMap::new();\n";
+        let findings = check_snippet("crates/net/src/graph.rs", src);
+        for f in &findings {
+            assert!(
+                !RuleId::from_name(&f.rule).expect("known rule").is_workspace_rule(),
+                "workspace rule {} fired as a line rule",
+                f.rule
+            );
+        }
     }
 
     #[test]
@@ -398,6 +553,23 @@ mod tests {
         let src = "let mut rng = thread_rng();\n";
         assert_eq!(check_snippet("crates/bench/src/lib.rs", src).len(), 1);
         assert_eq!(check_snippet("crates/mem/src/pages.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn non_lib_context_relaxes_to_unseeded_rng_only() {
+        let src = "\
+let t0 = std::time::Instant::now();
+let v = data.last().unwrap();
+let mut rng = thread_rng();
+";
+        for class in [FileClass::Test, FileClass::Bench, FileClass::Example] {
+            let f = check_file("crates/net/tests/smoke.rs", &SourceFile::parse(src), class);
+            assert_eq!(f.len(), 1, "{class:?}: {f:?}");
+            assert_eq!(f[0].rule, "unseeded-rng");
+        }
+        // The same file as library code trips all three.
+        let f = check_file("crates/net/src/smoke.rs", &SourceFile::parse(src), FileClass::Lib);
+        assert_eq!(f.len(), 3);
     }
 
     #[test]
@@ -500,5 +672,53 @@ mod tests {
 let label = \"thread_rng\";
 ";
         assert!(check_snippet("crates/net/src/graph.rs", src).is_empty());
+    }
+
+    #[test]
+    fn digest_pin_flags_unpinned_campaigns() {
+        let campaign_src = "\
+impl Campaign for A {
+    fn name(&self) -> &'static str {
+        match self.grid {
+            Grid::Quick => \"fig9-quick\",
+            Grid::Paper => \"fig9-paper\",
+        }
+    }
+    fn describe(&self) -> String {
+        format!(\"not a campaign NAME\")
+    }
+}
+impl Campaign for B {
+    fn name(&self) -> &'static str {
+        \"adhoc\" // mb-check: allow(digest-pin)
+    }
+}
+";
+        let fixture_src = "pub const FIG9_QUICK_DIGEST: u64 = 0x1;\n";
+        let files = vec![
+            crate::FileAnalysis::from_source(
+                "crates/lab/src/campaign.rs",
+                FileClass::Lib,
+                "mb_lab",
+                Vec::new(),
+                campaign_src.to_string(),
+            ),
+            crate::FileAnalysis::from_source(
+                "crates/core/tests/common/digest.rs",
+                FileClass::Test,
+                "montblanc",
+                Vec::new(),
+                fixture_src.to_string(),
+            ),
+        ];
+        let findings = digest_pin_findings(&files);
+        // fig9-quick is pinned; adhoc is allowed; fig9-paper is not.
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "digest-pin");
+        assert!(findings[0].message.contains("FIG9_PAPER_DIGEST"));
+        assert_eq!(findings[0].line, 5);
+
+        // Without the fixture file in the set, the rule stays quiet.
+        assert!(digest_pin_findings(&files[..1]).is_empty());
     }
 }

@@ -1,11 +1,20 @@
 //! A lossy line-oriented model of a Rust source file.
 //!
-//! The lint rules are token-level, so the only parsing they need is the
+//! The line rules are token-level, so the only parsing they need is the
 //! part that prevents false positives: comment and string/char literal
 //! stripping (a `"thread_rng"` inside a doc example or a format string
 //! must not fire), `#[cfg(test)]` module tracking (test code is exempt
 //! from the determinism contract), and `// mb-check: allow(<rule>)`
 //! suppression comments.
+//!
+//! Since v2 this view is *derived from the lexer*: [`SourceFile::parse`]
+//! distributes [`crate::lexer`] tokens across lines — code tokens keep
+//! their text, literals are blanked to spaces, comment tokens feed the
+//! per-line comment field. One tokenizer therefore backs both the line
+//! rules and the call-graph passes, and every test in this module pins
+//! the lexer's classification decisions.
+
+use crate::lexer::{tokenize, Token, TokenKind};
 
 /// One analysed source line.
 #[derive(Debug, Clone, Default)]
@@ -18,6 +27,10 @@ pub struct Line {
     pub comment: String,
     /// Whether any part of the line lies inside a `#[cfg(test)]` module.
     pub in_test: bool,
+    /// Whether the line carries any code tokens. String literals count
+    /// even though their text is blanked in `code`, so a trailing
+    /// `allow(...)` on a literal-only line still binds to that line.
+    pub has_code: bool,
     /// Rule names suppressed on this line via `mb-check: allow(...)`.
     pub allowed: Vec<String>,
 }
@@ -36,148 +49,93 @@ pub struct SourceFile {
     pub lines: Vec<Line>,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum State {
-    Code,
-    LineComment,
-    BlockComment(u32),
-    Str,
-    RawStr(u32),
-    CharLit,
-}
-
 impl SourceFile {
     /// Parses a source file into stripped lines with test/suppression
     /// annotations.
     pub fn parse(source: &str) -> Self {
-        let chars: Vec<char> = source.chars().collect();
+        Self::from_tokens(source, &tokenize(source))
+    }
+
+    /// Builds the line view from an existing token stream (callers that
+    /// also feed the AST layer tokenize once and share).
+    pub fn from_tokens(source: &str, tokens: &[Token]) -> Self {
         let mut lines = Vec::new();
         let mut code = String::new();
         let mut comment = String::new();
-        let mut state = State::Code;
-        let mut i = 0usize;
-        while i < chars.len() {
-            let c = chars[i];
-            if c == '\n' {
-                // A line comment ends here; everything else survives the
-                // newline (block comments, multi-line strings).
-                if state == State::LineComment {
-                    state = State::Code;
-                }
+        let mut saw_code = false;
+        let flush =
+            |code: &mut String, comment: &mut String, saw: &mut bool, lines: &mut Vec<Line>| {
                 lines.push(Line {
-                    code: std::mem::take(&mut code),
-                    comment: std::mem::take(&mut comment),
+                    code: std::mem::take(code),
+                    comment: std::mem::take(comment),
+                    has_code: std::mem::take(saw),
                     ..Line::default()
                 });
-                i += 1;
-                continue;
-            }
-            match state {
-                State::Code => {
-                    let next = chars.get(i + 1).copied();
-                    if c == '/' && next == Some('/') {
-                        state = State::LineComment;
-                        i += 2;
-                    } else if c == '/' && next == Some('*') {
-                        state = State::BlockComment(1);
-                        code.push_str("  ");
-                        i += 2;
-                    } else if c == '"' {
-                        state = State::Str;
-                        code.push(' ');
-                        i += 1;
-                    } else if (c == 'r' || c == 'b') && is_raw_string_start(&chars, i) {
-                        let (hashes, consumed) = raw_string_open(&chars, i);
-                        state = State::RawStr(hashes);
-                        for _ in 0..consumed {
-                            code.push(' ');
-                        }
-                        i += consumed;
-                    } else if c == 'b' && next == Some('"') {
-                        state = State::Str;
-                        code.push_str("  ");
-                        i += 2;
-                    } else if c == '\'' {
-                        if is_char_literal(&chars, i) {
-                            state = State::CharLit;
-                            code.push(' ');
+            };
+        for tok in tokens {
+            let text = tok.text(source);
+            match tok.kind {
+                TokenKind::Ident
+                | TokenKind::Number
+                | TokenKind::Punct
+                | TokenKind::PathSep
+                | TokenKind::Lifetime => {
+                    saw_code = true;
+                    code.push_str(text);
+                }
+                TokenKind::Whitespace => {
+                    for c in text.chars() {
+                        if c == '\n' {
+                            flush(&mut code, &mut comment, &mut saw_code, &mut lines);
                         } else {
-                            // A lifetime: the tick is real code.
                             code.push(c);
                         }
-                        i += 1;
-                    } else {
-                        code.push(c);
-                        i += 1;
                     }
                 }
-                State::LineComment => {
-                    comment.push(c);
-                    i += 1;
-                }
-                State::BlockComment(depth) => {
-                    let next = chars.get(i + 1).copied();
-                    if c == '*' && next == Some('/') {
-                        state = if depth > 1 {
-                            State::BlockComment(depth - 1)
+                TokenKind::Literal => {
+                    // Blanked to spaces so columns survive; newlines in
+                    // multi-line strings still break lines.
+                    saw_code = true;
+                    for c in text.chars() {
+                        if c == '\n' {
+                            flush(&mut code, &mut comment, &mut saw_code, &mut lines);
+                            saw_code = true;
                         } else {
-                            State::Code
-                        };
-                        i += 2;
-                    } else if c == '/' && next == Some('*') {
-                        state = State::BlockComment(depth + 1);
-                        i += 2;
-                    } else {
-                        comment.push(c);
-                        i += 1;
-                    }
-                }
-                State::Str => {
-                    if c == '\\' {
-                        code.push_str("  ");
-                        i += 2;
-                    } else if c == '"' {
-                        state = State::Code;
-                        code.push(' ');
-                        i += 1;
-                    } else {
-                        code.push(' ');
-                        i += 1;
-                    }
-                }
-                State::RawStr(hashes) => {
-                    if c == '"' && closes_raw_string(&chars, i, hashes) {
-                        state = State::Code;
-                        for _ in 0..=hashes as usize {
                             code.push(' ');
                         }
-                        i += 1 + hashes as usize;
-                    } else {
-                        code.push(' ');
-                        i += 1;
                     }
                 }
-                State::CharLit => {
-                    if c == '\\' {
-                        code.push_str("  ");
-                        i += 2;
-                    } else if c == '\'' {
-                        state = State::Code;
-                        code.push(' ');
-                        i += 1;
-                    } else {
-                        code.push(' ');
-                        i += 1;
+                TokenKind::LineComment => {
+                    // Drop the leading `//`; the rest is comment text.
+                    comment.push_str(&text[2..]);
+                }
+                TokenKind::BlockComment => {
+                    // The opening marker keeps its columns; interior
+                    // `/*`/`*/` pairs vanish like in the v1 scanner.
+                    code.push_str("  ");
+                    let inner = &text[2..];
+                    let bytes = inner.as_bytes();
+                    let mut k = 0;
+                    while k < bytes.len() {
+                        if k + 1 < bytes.len()
+                            && (&bytes[k..k + 2] == b"/*" || &bytes[k..k + 2] == b"*/")
+                        {
+                            k += 2;
+                            continue;
+                        }
+                        let c = inner[k..].chars().next().expect("in bounds");
+                        if c == '\n' {
+                            flush(&mut code, &mut comment, &mut saw_code, &mut lines);
+                        } else {
+                            comment.push(c);
+                        }
+                        k += c.len_utf8();
                     }
                 }
             }
         }
         if !code.is_empty() || !comment.is_empty() {
-            lines.push(Line {
-                code,
-                comment,
-                ..Line::default()
-            });
+            flush(&mut code, &mut comment, &mut saw_code, &mut lines);
         }
         let mut file = SourceFile { lines };
         file.mark_test_modules();
@@ -235,7 +193,7 @@ impl SourceFile {
         let mut pending: Vec<String> = Vec::new();
         for line in &mut self.lines {
             let mut here = parse_allow_directives(&line.comment);
-            let has_code = !line.code.trim().is_empty();
+            let has_code = line.has_code || !line.code.trim().is_empty();
             if has_code {
                 here.append(&mut pending);
                 line.allowed = here;
@@ -267,57 +225,6 @@ pub fn parse_allow_directives(comment: &str) -> Vec<String> {
         }
     }
     out
-}
-
-/// Whether position `i` starts a raw (byte) string: `r"`, `r#`, `br"`,
-/// `br#`.
-fn is_raw_string_start(chars: &[char], i: usize) -> bool {
-    let mut j = i;
-    if chars[j] == 'b' {
-        j += 1;
-        if chars.get(j) != Some(&'r') {
-            return false;
-        }
-    }
-    if chars.get(j) != Some(&'r') {
-        return false;
-    }
-    j += 1;
-    while chars.get(j) == Some(&'#') {
-        j += 1;
-    }
-    chars.get(j) == Some(&'"')
-}
-
-/// Consumes a raw-string opener at `i`; returns `(hash_count, chars)`.
-fn raw_string_open(chars: &[char], i: usize) -> (u32, usize) {
-    let mut j = i;
-    if chars[j] == 'b' {
-        j += 1;
-    }
-    j += 1; // the 'r'
-    let mut hashes = 0u32;
-    while chars.get(j) == Some(&'#') {
-        hashes += 1;
-        j += 1;
-    }
-    j += 1; // the opening quote
-    (hashes, j - i)
-}
-
-/// Whether the `"` at `i` closes a raw string with `hashes` hashes.
-fn closes_raw_string(chars: &[char], i: usize, hashes: u32) -> bool {
-    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
-}
-
-/// Distinguishes a char literal from a lifetime at a `'` in code
-/// position: `'x'` and `'\n'` are literals, `'a` in `&'a str` is not.
-fn is_char_literal(chars: &[char], i: usize) -> bool {
-    match chars.get(i + 1) {
-        Some('\\') => true,
-        Some(_) => chars.get(i + 2) == Some(&'\''),
-        None => false,
-    }
 }
 
 #[cfg(test)]
@@ -378,6 +285,15 @@ mod tests {
     }
 
     #[test]
+    fn multiline_string_preserves_line_numbers() {
+        let src = "let s = \"first\nthread_rng\nlast\";\nafter();";
+        let c = codes(src);
+        assert_eq!(c.len(), 4);
+        assert!(!c[1].contains("thread_rng"));
+        assert_eq!(c[3], "after();");
+    }
+
+    #[test]
     fn marks_cfg_test_modules() {
         let src = "\
 fn lib_code() {}
@@ -423,6 +339,21 @@ let w = y.unwrap();
         assert!(!f.lines[0].allows("unwrap-in-lib"), "comment line itself");
         assert!(f.lines[2].allows("unwrap-in-lib"));
         assert!(!f.lines[3].allows("unwrap-in-lib"), "only the next line");
+    }
+
+    #[test]
+    fn trailing_suppression_binds_to_literal_only_lines() {
+        // The literal's text is blanked, but the line still carries
+        // code — the allow is trailing, not standalone.
+        let src = "\
+fn name() -> &'static str {
+    \"adhoc\" // mb-check: allow(digest-pin)
+}
+";
+        let f = SourceFile::parse(src);
+        assert!(f.lines[1].has_code);
+        assert!(f.lines[1].allows("digest-pin"));
+        assert!(!f.lines[2].allows("digest-pin"));
     }
 
     #[test]

@@ -1,15 +1,20 @@
 //! Deterministic workspace file discovery.
 //!
-//! Walks `crates/*/src/**/*.rs` under a workspace root, visiting
-//! directories and files in byte-sorted name order so the finding list —
-//! and therefore CI output — is identical on every filesystem.
+//! Walks `crates/*/src/**/*.rs` plus the harness trees —
+//! `crates/*/tests`, `crates/*/benches` and a top-level `examples/` —
+//! under a workspace root, visiting directories and files in
+//! byte-sorted name order so the finding list — and therefore CI
+//! output — is identical on every filesystem. Directories named
+//! `fixtures` are skipped: they hold deliberately-dirty lint fixtures,
+//! not workspace code.
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// All `.rs` files under `<root>/crates/*/src`, workspace-relative and
-/// byte-sorted.
+/// All workspace `.rs` files under `<root>`, workspace-relative and
+/// byte-sorted: `crates/*/src`, `crates/*/tests`, `crates/*/benches`
+/// and `examples/`.
 ///
 /// # Errors
 ///
@@ -26,10 +31,16 @@ pub fn workspace_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
     crate_dirs.sort();
     let mut files = Vec::new();
     for dir in crate_dirs {
-        let src = dir.join("src");
-        if src.is_dir() {
-            collect_rs(&src, &mut files)?;
+        for sub in ["src", "tests", "benches"] {
+            let tree = dir.join(sub);
+            if tree.is_dir() {
+                collect_rs(&tree, &mut files)?;
+            }
         }
+    }
+    let examples = root.join("examples");
+    if examples.is_dir() {
+        collect_rs(&examples, &mut files)?;
     }
     // Report paths relative to the root.
     for f in &mut files {
@@ -42,6 +53,7 @@ pub fn workspace_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
 }
 
 /// Recursively collects `.rs` files under `dir`, sorted per level.
+/// `fixtures` directories are lint-fixture data, not workspace code.
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
         .collect::<io::Result<Vec<_>>>()?
@@ -51,6 +63,9 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     entries.sort();
     for entry in entries {
         if entry.is_dir() {
+            if entry.file_name().is_some_and(|n| n == "fixtures") {
+                continue;
+            }
             collect_rs(&entry, out)?;
         } else if entry.extension().is_some_and(|e| e == "rs") {
             out.push(entry);
@@ -86,6 +101,34 @@ mod tests {
         let mut sorted = as_str.clone();
         sorted.sort();
         assert_eq!(as_str, sorted, "walk order must be sorted");
+    }
+
+    #[test]
+    fn includes_tests_and_benches() {
+        let files = workspace_sources(&root()).expect("workspace walk succeeds");
+        let as_str: Vec<String> = files
+            .iter()
+            .map(|p| p.to_string_lossy().replace('\\', "/"))
+            .collect();
+        assert!(
+            as_str.iter().any(|p| p.contains("/tests/")),
+            "integration tests are scanned"
+        );
+        assert!(
+            as_str.iter().any(|p| p == "crates/core/tests/common/digest.rs"),
+            "the digest fixture is scanned (digest-pin needs it)"
+        );
+    }
+
+    #[test]
+    fn skips_fixture_directories() {
+        let files = workspace_sources(&root()).expect("workspace walk succeeds");
+        assert!(
+            files
+                .iter()
+                .all(|p| !p.to_string_lossy().contains("fixtures")),
+            "fixtures/ trees are lint-fixture data, never scanned"
+        );
     }
 
     #[test]

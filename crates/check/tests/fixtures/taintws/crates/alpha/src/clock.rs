@@ -1,0 +1,14 @@
+//! The direct source: a wall-clock read the v1 line rule also catches.
+
+use std::time::Instant;
+
+/// Reads the host clock — the seeded taint source.
+pub fn stamp() -> f64 {
+    let t = Instant::now();
+    t.elapsed().as_secs_f64()
+}
+
+/// Determinism-clean, for contrast.
+pub fn constant() -> f64 {
+    42.0
+}

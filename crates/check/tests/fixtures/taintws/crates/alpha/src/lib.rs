@@ -1,0 +1,5 @@
+//! Seeded taint fixture crate: `clock` holds the only direct
+//! nondeterminism source; `model` reaches it transitively.
+
+pub mod clock;
+pub mod model;

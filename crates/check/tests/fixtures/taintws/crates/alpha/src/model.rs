@@ -1,0 +1,12 @@
+//! Transitive taint only: this file has no source tokens at all, so the
+//! v1 line rules stay silent here — only the graph pass can flag it.
+
+/// Tainted one hop from the source, via a `crate::` path.
+pub fn timed_model() -> f64 {
+    crate::clock::stamp() + 1.0
+}
+
+/// Determinism-clean.
+pub fn pure_model() -> f64 {
+    2.0
+}

@@ -1,0 +1,25 @@
+//! Cross-crate taint: reaches the `alpha` source through a use-rename
+//! and a method call — the two call-graph edges naive resolvers miss.
+
+use mb_alpha::model as m;
+
+/// Carrier for the method-call hop.
+pub struct Runner;
+
+impl Runner {
+    /// Tainted through the renamed module.
+    pub fn run(&self) -> f64 {
+        m::timed_model()
+    }
+}
+
+/// Tainted through the method call on `Runner`.
+pub fn drive() -> f64 {
+    let r = Runner;
+    r.run()
+}
+
+/// Determinism-clean.
+pub fn idle() -> f64 {
+    0.0
+}

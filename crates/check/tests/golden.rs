@@ -2,14 +2,14 @@
 //! produce byte-identical findings JSON, release after release. Any
 //! change to rule text, ordering or JSON shape shows up here as a diff.
 
-use mb_check::{check_file, render_human, render_json, SourceFile};
+use mb_check::{check_file, render_human, render_json, FileClass, SourceFile};
 
 /// The fictional workspace path the fixtures are linted under: a model
 /// crate, library path — every rule is in scope.
 const FIXTURE_PATH: &str = "crates/net/src/fixture.rs";
 
 fn lint(src: &str) -> Vec<mb_check::Finding> {
-    let mut findings = check_file(FIXTURE_PATH, &SourceFile::parse(src));
+    let mut findings = check_file(FIXTURE_PATH, &SourceFile::parse(src), FileClass::Lib);
     findings.sort();
     findings
 }
@@ -17,6 +17,14 @@ fn lint(src: &str) -> Vec<mb_check::Finding> {
 #[test]
 fn bad_fixture_matches_golden_json() {
     let findings = lint(include_str!("fixtures/bad_model.rs"));
+    if std::env::var_os("MB_CHECK_BLESS").is_some() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/fixtures/bad_model.expected.json"
+        );
+        std::fs::write(path, render_json(&findings)).expect("bless golden fixture");
+        return;
+    }
     assert_eq!(
         render_json(&findings),
         include_str!("fixtures/bad_model.expected.json"),

@@ -1,0 +1,108 @@
+//! Property tests for the lexer: any source assembled from a grammar of
+//! tricky fragments (raw strings, escapes, nested comments, lifetimes,
+//! multi-line literals) must tokenize into spans that tile the input
+//! exactly, with 1-based line numbers that match a naive newline count.
+
+use mb_check::lexer::{tokenize, TokenKind};
+use proptest::prelude::*;
+
+/// Source fragments chosen to cover every lexer state, including the
+/// ones that historically break hand-rolled tokenizers.
+const FRAGMENTS: &[&str] = &[
+    "fn f() { g(); }\n",
+    "let s = \"plain\";",
+    "let e = \"es\\\"caped\\n\";",
+    "let r = r#\"raw \"quoted\" text\"#;",
+    "let r2 = r\"no hash\";",
+    "let c = 'x';",
+    "let esc = '\\n';",
+    "let lt: &'static str = s;",
+    "// line comment with \"quote\" and 'tick'\n",
+    "/* block /* nested */ still */",
+    "/// doc comment\n",
+    "let multi = \"first\nsecond\";",
+    "let n = 0xFF_u32 + 1.5e-3;",
+    "path::to::item();",
+    "m!{ vec![1, 2] }",
+    "#[cfg(test)]\n",
+    "\n\n",
+    "    ",
+    "let unicode = \"λ → µ\";",
+    "x.method::<T>()",
+];
+
+/// Assembles a source string from fragment indices.
+fn assemble(picks: &[usize]) -> String {
+    picks
+        .iter()
+        .map(|&i| FRAGMENTS[i % FRAGMENTS.len()])
+        .collect()
+}
+
+proptest! {
+    /// The tokens tile the source: contiguous spans from 0 to len, and
+    /// concatenating every token's text reproduces the input byte for
+    /// byte. This is the invariant that lets the line view, the AST
+    /// layer and the suppression scanner all share one tokenizer.
+    #[test]
+    fn token_spans_tile_the_source(picks in prop::collection::vec(0usize..64, 0..24)) {
+        let source = assemble(&picks);
+        let tokens = tokenize(&source);
+        let mut cursor = 0usize;
+        let mut rebuilt = String::new();
+        for tok in &tokens {
+            prop_assert_eq!(tok.start, cursor, "gap or overlap before token");
+            prop_assert!(tok.end >= tok.start);
+            rebuilt.push_str(tok.text(&source));
+            cursor = tok.end;
+        }
+        prop_assert_eq!(cursor, source.len(), "tokens must reach end of input");
+        prop_assert_eq!(rebuilt, source);
+    }
+
+    /// Every token's recorded line equals one plus the number of
+    /// newlines before its start byte.
+    #[test]
+    fn token_lines_match_newline_count(picks in prop::collection::vec(0usize..64, 0..24)) {
+        let source = assemble(&picks);
+        for tok in tokenize(&source) {
+            let expect = 1 + source[..tok.start].matches('\n').count();
+            prop_assert_eq!(tok.line, expect, "token at byte {}", tok.start);
+        }
+    }
+
+    /// Comment and literal classification is stable under concatenation:
+    /// a fragment that lexes to a comment alone still lexes to a comment
+    /// when surrounded by other fragments (no state leaks across
+    /// fragment boundaries, because every fragment is self-delimiting).
+    #[test]
+    fn no_literal_text_leaks_into_code(picks in prop::collection::vec(0usize..64, 0..24)) {
+        let source = assemble(&picks);
+        let view = mb_check::SourceFile::parse(&source);
+        for line in &view.lines {
+            prop_assert!(!line.code.contains("quoted"), "raw-string text in code");
+            prop_assert!(!line.code.contains("escaped"), "string text in code");
+            prop_assert!(
+                !line.code.contains("nested"),
+                "block-comment text in code"
+            );
+        }
+        // Lifetimes survive stripping — they are code, not char literals.
+        if picks.iter().any(|&i| i % FRAGMENTS.len() == 7) {
+            prop_assert!(
+                view.lines.iter().any(|l| l.code.contains("&'static str")),
+                "lifetime stripped as a literal"
+            );
+        }
+    }
+}
+
+/// Non-property pin: the empty string and a lone BOM-free shebang-less
+/// byte both tokenize cleanly.
+#[test]
+fn degenerate_inputs() {
+    assert!(tokenize("").is_empty());
+    let toks = tokenize(";");
+    assert_eq!(toks.len(), 1);
+    assert_eq!(toks[0].kind, TokenKind::Punct);
+}

@@ -1,0 +1,26 @@
+//! mb-check passes over its own crate with zero findings — baseline
+//! excluded on purpose: the linter's own source never gets to lean on
+//! grandfathered debt.
+
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root exists")
+        .to_path_buf()
+}
+
+#[test]
+fn own_crate_is_finding_free() {
+    let findings = mb_check::run_check(&workspace_root()).expect("workspace walks");
+    let own: Vec<_> = findings
+        .iter()
+        .filter(|f| f.file.starts_with("crates/check/"))
+        .collect();
+    assert!(
+        own.is_empty(),
+        "mb-check must self-lint clean, no baseline allowed:\n{own:#?}"
+    );
+}

@@ -14,7 +14,7 @@ use crate::platform::Platform;
 use mb_cpu::counters::Counter;
 use mb_cpu::exec_model::ModelExec;
 use mb_cpu::ops::Exec;
-use mb_kernels::magicfilter::{magicfilter_3d, Grid3};
+use mb_kernels::magicfilter::{Grid3, MagicfilterWorkspace};
 use mb_tuner::analysis::{staircase_steps, sweet_spot, SweetSpot};
 use mb_tuner::search::ExhaustiveSearch;
 use mb_tuner::space::ParameterSpace;
@@ -88,11 +88,16 @@ pub struct Fig7Report {
 /// the target"): the unroll degree feeds the MLP hint and, beyond the
 /// target's register budget, spill traffic — the same conventions as
 /// `mb_kernels::membench::run_model`.
-pub fn measure_variant(grid: &Grid3, unroll: u32, exec: &mut ModelExec) -> Fig7Point {
+pub fn measure_variant(
+    grid: &Grid3,
+    unroll: u32,
+    exec: &mut ModelExec,
+    ws: &mut MagicfilterWorkspace,
+) -> Fig7Point {
     exec.reset();
     exec.set_mlp_hint(unroll);
     exec.set_prefetch_hint(0.8); // regular but transposing pattern
-    let _out = magicfilter_3d(grid, unroll, exec);
+    ws.apply(grid, unroll, exec);
     let spills = unroll.saturating_sub(exec.model().unroll_register_limit);
     if spills > 0 {
         // The unrolled accumulators spill inside the 16-tap loop: one
@@ -133,7 +138,8 @@ fn sweep(platform: &Platform, cfg: &Fig7Config) -> Fig7Panel {
     let _result = ExhaustiveSearch::new().tune_par(&space, |p| {
         let unroll = space.value("unroll", p) as u32;
         let mut exec = platform.exec(1);
-        let point = measure_variant(&grid, unroll, &mut exec);
+        let mut ws = MagicfilterWorkspace::new();
+        let point = measure_variant(&grid, unroll, &mut exec, &mut ws);
         measured_cell.lock().push(point);
         point.cycles as f64
     });
@@ -201,7 +207,8 @@ pub fn measure_slot(cfg: &Fig7Config, slot: usize) -> [f64; 2] {
     let e = cfg.grid_edge;
     let grid = Grid3::random(e, e, e, 0xF167);
     let mut exec = platform.exec(1);
-    let point = measure_variant(&grid, unroll, &mut exec);
+    let mut ws = MagicfilterWorkspace::new();
+    let point = measure_variant(&grid, unroll, &mut exec, &mut ws);
     [point.cycles as f64, point.cache_accesses as f64]
 }
 

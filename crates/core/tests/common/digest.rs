@@ -169,3 +169,7 @@ pub const FIG5_PAPER_DIGEST: u64 = 0xc49f_00d6_ca0a_c4ad;
 pub const FIG7_PAPER_DIGEST: u64 = 0x9080_737c_78a9_66c3;
 /// Pinned digest of [`table2_paper`].
 pub const TABLE2_PAPER_DIGEST: u64 = 0x8bd9_f1e8_0879_d505;
+/// Pinned digest of the Figure 1 TOP500 trend-fit slot stream — the
+/// `top500-trends` campaign in the `mb-lab` registry mirrors this
+/// constant; `campaign_digests.rs` asserts the mirrors stay equal.
+pub const TOP500_TRENDS_DIGEST: u64 = 0xe0c5_c859_2a9b_23ef;

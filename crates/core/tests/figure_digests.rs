@@ -128,3 +128,19 @@ fn table2_paper_output_is_pinned() {
          tests/common/digest.rs and the mb-lab registry mirror"
     );
 }
+
+#[test]
+fn top500_trend_stream_is_pinned() {
+    use montblanc::top500;
+    let stream: Vec<f64> = top500::all_series()
+        .into_iter()
+        .flat_map(|s| top500::trend_stream(&top500::fit_trend(&top500::history(), s)))
+        .collect();
+    assert_eq!(
+        digest::digest(stream),
+        digest::TOP500_TRENDS_DIGEST,
+        "Figure 1 TOP500 trend-fit stream changed bit-identity; if \
+         intentional, re-pin TOP500_TRENDS_DIGEST in \
+         tests/common/digest.rs and the mb-lab registry mirror"
+    );
+}

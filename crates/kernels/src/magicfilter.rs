@@ -126,10 +126,12 @@ pub fn magicfilter_pass<E: Exec>(
     let in_base = 0u64;
     let out_base = (n * ndat * 8) as u64;
     for i in 0..n {
-        // Precompute wrapped row indices for the 16 taps.
-        let rows: Vec<usize> = (LOWFIL..=UPFIL)
-            .map(|l| ((i as i64 + l).rem_euclid(n as i64)) as usize)
-            .collect();
+        // Precompute wrapped row indices for the 16 taps — a fixed
+        // array, so the innermost row loop allocates nothing.
+        let mut rows = [0usize; (UPFIL - LOWFIL + 1) as usize];
+        for (t, l) in (LOWFIL..=UPFIL).enumerate() {
+            rows[t] = ((i as i64 + l).rem_euclid(n as i64)) as usize;
+        }
         let mut j = 0usize;
         while j < ndat {
             let jmax = (j + u).min(ndat);
@@ -152,28 +154,70 @@ pub fn magicfilter_pass<E: Exec>(
     }
 }
 
+/// Reusable ping-pong buffers for [`magicfilter_3d`]. Slot measurers
+/// sweep the same grid across many unroll variants; holding one
+/// workspace hoists the two pass buffers out of that hot loop.
+#[derive(Debug, Clone, Default)]
+pub struct MagicfilterWorkspace {
+    buf_a: Vec<f64>,
+    buf_b: Vec<f64>,
+}
+
+impl MagicfilterWorkspace {
+    /// Creates an empty workspace; the buffers grow on first use and
+    /// keep their capacity across calls.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Applies the full 3-D magicfilter: three transposing passes,
+    /// leaving the result (in the grid's original orientation) in the
+    /// returned slice, which stays valid until the next `apply`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unroll` is zero.
+    pub fn apply<E: Exec>(&mut self, grid: &Grid3, unroll: u32, exec: &mut E) -> &[f64] {
+        let (d0, d1, d2) = (grid.d0, grid.d1, grid.d2);
+        let total = d0 * d1 * d2;
+        self.buf_a.clear();
+        self.buf_a.resize(total, 0.0);
+        self.buf_b.clear();
+        self.buf_b.resize(total, 0.0);
+        // Pass 1: view (d0, d1·d2) → (d1·d2, d0), i.e. shape (d1, d2, d0).
+        magicfilter_pass(&grid.data, d0, d1 * d2, &mut self.buf_a, unroll, exec);
+        // Pass 2: view (d1, d2·d0) → shape (d2, d0, d1).
+        magicfilter_pass(&self.buf_a, d1, d2 * d0, &mut self.buf_b, unroll, exec);
+        // Pass 3: view (d2, d0·d1) → shape (d0, d1, d2): home again.
+        magicfilter_pass(&self.buf_b, d2, d0 * d1, &mut self.buf_a, unroll, exec);
+        &self.buf_a
+    }
+
+    /// Swaps the last `apply` result into `data` (and `data`'s old
+    /// storage into the workspace, where the next `apply` reuses its
+    /// capacity). Lets iterated filters ping-pong a grid against the
+    /// workspace without any steady-state allocation.
+    pub fn swap_output(&mut self, data: &mut Vec<f64>) {
+        std::mem::swap(&mut self.buf_a, data);
+    }
+}
+
 /// Applies the full 3-D magicfilter: three transposing passes, returning
-/// a grid in the original orientation.
+/// a grid in the original orientation. One-shot wrapper over
+/// [`MagicfilterWorkspace::apply`] for callers outside the hot slot
+/// paths.
 ///
 /// # Panics
 ///
 /// Panics if `unroll` is zero.
 pub fn magicfilter_3d<E: Exec>(grid: &Grid3, unroll: u32, exec: &mut E) -> Grid3 {
-    let (d0, d1, d2) = (grid.d0, grid.d1, grid.d2);
-    let total = d0 * d1 * d2;
-    let mut buf_a = vec![0.0; total];
-    let mut buf_b = vec![0.0; total];
-    // Pass 1: view (d0, d1·d2) → (d1·d2, d0), i.e. shape (d1, d2, d0).
-    magicfilter_pass(&grid.data, d0, d1 * d2, &mut buf_a, unroll, exec);
-    // Pass 2: view (d1, d2·d0) → shape (d2, d0, d1).
-    magicfilter_pass(&buf_a, d1, d2 * d0, &mut buf_b, unroll, exec);
-    // Pass 3: view (d2, d0·d1) → shape (d0, d1, d2): home again.
-    magicfilter_pass(&buf_b, d2, d0 * d1, &mut buf_a, unroll, exec);
+    let mut ws = MagicfilterWorkspace::new();
+    ws.apply(grid, unroll, exec);
     Grid3 {
-        d0,
-        d1,
-        d2,
-        data: buf_a,
+        d0: grid.d0,
+        d1: grid.d1,
+        d2: grid.d2,
+        data: ws.buf_a,
     }
 }
 

@@ -116,6 +116,9 @@ pub struct Specfem {
     u: Vec<f64>,
     /// Displacement at step n−1.
     u_prev: Vec<f64>,
+    /// Internal-force scratch, reused every step so the hot time loop
+    /// allocates nothing per call.
+    force: Vec<f64>,
     dt: f64,
     steps_done: u64,
 }
@@ -209,6 +212,7 @@ impl Specfem {
             mu_scale,
             mass,
             u_prev: u.clone(),
+            force: vec![0.0; n_glob],
             u,
             dt,
             steps_done: 0,
@@ -240,11 +244,12 @@ impl Specfem {
         &self.u
     }
 
-    /// Computes the internal force `f = −K·u` (assembled per element),
-    /// reporting operations.
-    fn internal_force<E: Exec>(&self, exec: &mut E) -> Vec<f64> {
+    /// Computes the internal force `f = −K·u` (assembled per element)
+    /// into the reusable `force` scratch, reporting operations.
+    fn internal_force<E: Exec>(&mut self, exec: &mut E) {
         let n = self.u.len();
-        let mut f = vec![0.0; n];
+        self.force.clear();
+        self.force.resize(n, 0.0);
         for e in 0..self.cfg.elements {
             let base = e * DEGREE;
             let mu = self.mu_scale[e];
@@ -265,31 +270,33 @@ impl Specfem {
                 exec.load(((n + base + i) * 8) as u64, 8);
                 exec.store(((n + base + i) * 8) as u64, 8);
                 exec.flop(FlopKind::Add, Precision::F64, 1);
-                f[base + i] -= mu * acc;
+                self.force[base + i] -= mu * acc;
             }
             exec.branch(true);
         }
-        f
     }
 
-    /// Advances one explicit (central-difference) time step.
+    /// Advances one explicit (central-difference) time step. The update
+    /// is elementwise-independent, so the displacement levels rotate in
+    /// place — no `u_next` buffer, and identical f64 arithmetic order to
+    /// the buffered form.
     pub fn step<E: Exec>(&mut self, exec: &mut E) {
         let n = self.u.len();
-        let f = self.internal_force(exec);
+        self.internal_force(exec);
         let dt2 = self.dt * self.dt;
-        let mut u_next = vec![0.0; n];
         for i in 0..n {
             exec.load((i * 8) as u64, 8);
             exec.flop(FlopKind::Fma, Precision::F64, 1);
             exec.flop(FlopKind::Add, Precision::F64, 1);
             exec.flop(FlopKind::Div, Precision::F64, 1);
             exec.store((i * 8) as u64, 8);
-            u_next[i] = 2.0 * self.u[i] - self.u_prev[i] + dt2 * f[i] / self.mass[i];
+            let next =
+                2.0 * self.u[i] - self.u_prev[i] + dt2 * self.force[i] / self.mass[i];
+            self.u_prev[i] = std::mem::replace(&mut self.u[i], next);
         }
         // Dirichlet ends.
-        u_next[0] = 0.0;
-        u_next[n - 1] = 0.0;
-        self.u_prev = std::mem::replace(&mut self.u, u_next);
+        self.u[0] = 0.0;
+        self.u[n - 1] = 0.0;
         self.steps_done += 1;
     }
 

@@ -505,7 +505,9 @@ pub const SELFTEST_TASKS: usize = 16;
 
 impl Campaign for Selftest {
     fn name(&self) -> &'static str {
-        "selftest"
+        // Deliberately unpinned: selftest payloads are seed-derived
+        // sentinels, not figure data.
+        "selftest" // mb-check: allow(digest-pin)
     }
 
     fn description(&self) -> &'static str {

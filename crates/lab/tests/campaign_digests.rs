@@ -42,6 +42,7 @@ fn registry_pins_mirror_the_core_fixtures() {
     assert_eq!(campaign::FIG5_PAPER_DIGEST, fixture::FIG5_PAPER_DIGEST);
     assert_eq!(campaign::FIG7_PAPER_DIGEST, fixture::FIG7_PAPER_DIGEST);
     assert_eq!(campaign::TABLE2_PAPER_DIGEST, fixture::TABLE2_PAPER_DIGEST);
+    assert_eq!(campaign::TOP500_TRENDS_DIGEST, fixture::TOP500_TRENDS_DIGEST);
 }
 
 #[test]

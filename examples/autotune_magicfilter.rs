@@ -6,7 +6,7 @@
 //! cargo run --example autotune_magicfilter
 //! ```
 
-use mb_kernels::magicfilter::Grid3;
+use mb_kernels::magicfilter::{Grid3, MagicfilterWorkspace};
 use mb_tuner::search::{ExhaustiveSearch, HillClimb, Tuner};
 use mb_tuner::space::ParameterSpace;
 use montblanc::fig7::measure_variant;
@@ -14,10 +14,13 @@ use montblanc::platform::Platform;
 
 fn tune(platform: &Platform, grid: &Grid3) -> (u32, u64, usize) {
     let mut exec = platform.exec(1);
+    // One workspace for the whole sweep: every variant reuses the same
+    // pass buffers.
+    let mut ws = MagicfilterWorkspace::new();
     let space = ParameterSpace::new().with_parameter("unroll", (1..=12).collect());
     let result = ExhaustiveSearch::new().tune(&space, |p| {
         let unroll = space.value("unroll", p) as u32;
-        measure_variant(grid, unroll, &mut exec).cycles as f64
+        measure_variant(grid, unroll, &mut exec, &mut ws).cycles as f64
     });
     (
         space.value("unroll", &result.best_point) as u32,
@@ -50,10 +53,11 @@ fn main() {
     // --- The cheap shortcut, and when it is safe ---
     let grid = Grid3::random(12, 12, 12, 99);
     let mut exec = Platform::xeon_x5550().exec(1);
+    let mut ws = MagicfilterWorkspace::new();
     let space = ParameterSpace::new().with_parameter("unroll", (1..=12).collect());
     let hc = HillClimb::new(1, 7).tune(&space, |p| {
         let unroll = space.value("unroll", p) as u32;
-        measure_variant(&grid, unroll, &mut exec).cycles as f64
+        measure_variant(&grid, unroll, &mut exec, &mut ws).cycles as f64
     });
     println!(
         "\nHill climbing on the (convex) Nehalem curve: best unroll = {} in only {} \

@@ -12,8 +12,23 @@ cargo test --workspace --quiet
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> mb-check (determinism lints)"
-cargo run --release -p mb-check
+echo "==> mb-check (call-graph determinism lints, SARIF + schema gate)"
+# The check itself: exits nonzero on any finding not in the reviewed
+# `.mb-check-baseline.json`, so new debt fails CI while grandfathered
+# findings stay visible in the SARIF report. The SARIF document is then
+# validated against the checked-in required-path schema snapshot. Both
+# analysis runs must stay inside a 5 s wall-time budget.
+CHECK_DIR="$(mktemp -d)"
+check_start=$(date +%s%N)
+cargo run --release -q -p mb-check -- check
+cargo run --release -q -p mb-check -- check --format sarif > "$CHECK_DIR/mb-check.sarif"
+check_elapsed_ms=$(( ($(date +%s%N) - check_start) / 1000000 ))
+cargo run --release -q -p mb-check -- validate-sarif "$CHECK_DIR/mb-check.sarif"
+rm -rf "$CHECK_DIR"
+echo "    mb-check wall time: ${check_elapsed_ms} ms (budget 5000 ms)"
+if [ "$check_elapsed_ms" -ge 5000 ]; then
+    echo "mb-check exceeded its 5 s wall-time budget"; exit 1
+fi
 
 echo "==> validate-feature smoke (runtime invariant sanitizer)"
 # Re-asserts every pinned digest — including FIG3_FAULTED_QUICK_DIGEST,
