@@ -205,6 +205,18 @@ impl ScalingStudy {
         })
     }
 
+    /// The element-name table of the fabric a run at `ranks` cores is
+    /// built on — what name-addressed plans for
+    /// [`Self::execute_planned`] resolve against. Mirrors the fabric
+    /// construction of [`Self::fault_plan`] and
+    /// [`Self::execute_outcome`], so resolved indices aim at exactly
+    /// the elements those runs instantiate.
+    pub fn element_names(&self, ranks: u32) -> mb_faults::ElementNames {
+        let nodes = ranks.div_ceil(2) as usize;
+        let fabric = self.fabric.build(nodes, self.seed ^ u64::from(ranks));
+        fabric.network().element_names()
+    }
+
     /// Executes `workload` on `ranks` cores; returns the simulated time
     /// and, if `traced`, the execution trace.
     ///
@@ -225,6 +237,41 @@ impl ScalingStudy {
     ///
     /// Panics if `ranks < workload.min_ranks`.
     pub fn execute_outcome(&self, workload: &Workload, ranks: u32, traced: bool) -> ScalingOutcome {
+        self.execute_with_plan(workload, ranks, traced, self.fault_plan(ranks))
+    }
+
+    /// Runs `workload` under an *explicitly supplied* fault plan —
+    /// typically one built from name-addressed faults resolved against
+    /// [`Self::element_names`] — instead of the study's own generated
+    /// plan. An empty plan is never installed (same contract as
+    /// [`Self::with_faults`]), so the run stays bit-identical to a
+    /// fault-free one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ranks < workload.min_ranks`.
+    pub fn execute_planned(
+        &self,
+        workload: &Workload,
+        ranks: u32,
+        plan: &FaultPlan,
+        traced: bool,
+    ) -> ScalingOutcome {
+        let plan = if plan.is_empty() {
+            None
+        } else {
+            Some(plan.clone())
+        };
+        self.execute_with_plan(workload, ranks, traced, plan)
+    }
+
+    fn execute_with_plan(
+        &self,
+        workload: &Workload,
+        ranks: u32,
+        traced: bool,
+        plan: Option<FaultPlan>,
+    ) -> ScalingOutcome {
         assert!(
             ranks >= workload.min_ranks,
             "{} needs at least {} ranks",
@@ -235,7 +282,7 @@ impl ScalingStudy {
         let fabric = self.fabric.build(nodes, self.seed ^ u64::from(ranks));
         let mut cfg = CommConfig::tibidabo(ranks);
         cfg.tracing = traced;
-        let mut comm = match self.fault_plan(ranks) {
+        let mut comm = match plan {
             None => Comm::new(fabric, cfg),
             Some(plan) => match Comm::resilient(fabric, cfg, plan, RetryPolicy::tibidabo()) {
                 Ok(comm) => comm,
@@ -610,6 +657,41 @@ mod tests {
         let study = ScalingStudy::new(FabricKind::Tibidabo).with_faults(FaultConfig::light());
         assert_eq!(study.fault_plan(16), study.fault_plan(16));
         assert!(ScalingStudy::new(FabricKind::Tibidabo).fault_plan(16).is_none());
+    }
+
+    #[test]
+    fn planned_execution_matches_generated_plan_bit_for_bit() {
+        // Handing execute_planned the very plan the faulted study would
+        // generate must reproduce execute_outcome exactly: the plan is
+        // the *whole* difference between the two paths.
+        let w = Workload::specfem_tibidabo().with_iterations(3);
+        let faulted = ScalingStudy::new(FabricKind::Tibidabo).with_faults(FaultConfig::light());
+        let plan = faulted.fault_plan(8).expect("faults configured");
+        let plain = ScalingStudy::new(FabricKind::Tibidabo);
+        let a = faulted.execute_outcome(&w, 8, false);
+        let b = plain.execute_planned(&w, 8, &plan, false);
+        assert_eq!(a.time, b.time);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.surviving_ranks, b.surviving_ranks);
+        // And an empty plan is never installed: bit-identical to the
+        // plain run.
+        let empty = FaultPlan::from_faults(1, Vec::new());
+        let c = plain.execute_planned(&w, 8, &empty, false);
+        assert_eq!(c.time, plain.execute_outcome(&w, 8, false).time);
+        assert_eq!(c.stats, ResilienceStats::default());
+    }
+
+    #[test]
+    fn element_names_address_the_executed_fabric() {
+        let study = ScalingStudy::new(FabricKind::Tibidabo);
+        let names = study.element_names(8);
+        // 8 ranks → 4 nodes → single leaf switch, duplex edge links.
+        assert_eq!(names.hosts().len(), 4);
+        assert_eq!(names.switches().len(), 1);
+        assert_eq!(names.links().len(), 8);
+        assert_eq!(names.link_index("host1", "sw0"), Ok(2));
+        // Same study, same table.
+        assert_eq!(names, study.element_names(8));
     }
 
     #[test]

@@ -311,6 +311,40 @@ pub fn measure_faulted_slot(
     ]
 }
 
+/// The element-name table a Figure 3 slot at `cores` resolves
+/// name-addressed faults against — the fabric
+/// [`measure_planned_slot`] instantiates for that slot.
+pub fn slot_element_names(cores: u32) -> mb_faults::ElementNames {
+    ScalingStudy::new(FabricKind::Tibidabo).element_names(cores)
+}
+
+/// Measures one slot under an explicitly supplied fault plan
+/// (typically resolved from name-addressed faults against
+/// [`slot_element_names`]), returning the same payload shape as
+/// [`measure_faulted_slot`]: `[secs, retries, timeouts, skipped,
+/// crashed, surviving]`. A pure function of its arguments — and, since
+/// a resolved named plan *is* an index plan, bit-identical to the same
+/// slot measured under the equivalent index-addressed plan.
+pub fn measure_planned_slot(
+    cfg: &Fig3Config,
+    plan: &mb_faults::FaultPlan,
+    panel: Panel,
+    cores: u32,
+    core_gflops: f64,
+) -> [f64; 6] {
+    let study = ScalingStudy::new(FabricKind::Tibidabo);
+    let w = slot_workload(panel, core_gflops, cfg.iterations);
+    let out = study.execute_planned(&w, cores, plan, false);
+    [
+        out.time.as_secs_f64(),
+        out.stats.retries as f64,
+        out.stats.timeouts as f64,
+        out.stats.skipped_messages as f64,
+        out.stats.crashed_ranks as f64,
+        f64::from(out.surviving_ranks),
+    ]
+}
+
 /// Per-panel speedup normalisation over slot times (seconds), in slot
 /// order: for each panel, `[speedup, efficiency]` per point — the same
 /// arithmetic `ScalingStudy::run` applies, on the same f64 values.

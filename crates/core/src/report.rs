@@ -125,6 +125,100 @@ pub fn ascii_plot(points: &[(f64, f64)], width: usize, height: usize, label: &st
     out
 }
 
+/// Quarantine-aware completion accounting for a slot campaign.
+///
+/// A long measurement campaign on failure-prone hardware (the paper's
+/// clusters lost nodes routinely) can end three ways per slot:
+/// measured, still outstanding, or *quarantined* — fenced off by the
+/// supervisor after repeatedly crashing its worker. The headline
+/// number "campaign complete" must distinguish "every slot measured"
+/// from "every slot accounted for, some fenced", because only the
+/// former may be digest-checked against a pinned figure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignAccounting {
+    /// Total slot count of the campaign.
+    pub total: usize,
+    /// Slots with a recorded measurement.
+    pub completed: usize,
+    /// Slots fenced off by the supervisor, ascending. A slot that was
+    /// quarantined *and* later measured counts as completed, not here.
+    pub quarantined: Vec<usize>,
+}
+
+impl CampaignAccounting {
+    /// Builds the accounting from the recorded and quarantined slot
+    /// sets. Quarantined slots that nonetheless have a record (an
+    /// earlier attempt journaled them before the fence went up) are
+    /// reclassified as completed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a slot index is out of range — accounting over
+    /// foreign slots means the caller mixed up campaigns.
+    pub fn new(total: usize, completed_slots: &[usize], quarantined_slots: &[usize]) -> Self {
+        let mut seen = vec![false; total];
+        for &slot in completed_slots {
+            assert!(slot < total, "completed slot {slot} out of range {total}");
+            seen[slot] = true;
+        }
+        let mut quarantined: Vec<usize> = quarantined_slots
+            .iter()
+            .inspect(|&&slot| assert!(slot < total, "quarantined slot {slot} out of range {total}"))
+            .filter(|&&slot| !seen[slot])
+            .copied()
+            .collect();
+        quarantined.sort_unstable();
+        quarantined.dedup();
+        CampaignAccounting {
+            total,
+            completed: seen.iter().filter(|&&s| s).count(),
+            quarantined,
+        }
+    }
+
+    /// Slots neither measured nor fenced — the work still to do.
+    pub fn outstanding(&self) -> usize {
+        self.total - self.completed - self.quarantined.len()
+    }
+
+    /// Every slot measured: the only state whose finalized stream may
+    /// be checked against a pinned digest.
+    pub fn is_full(&self) -> bool {
+        self.completed == self.total
+    }
+
+    /// Every slot accounted for (measured or fenced): the degraded
+    /// terminal state a supervised campaign converges to when a poison
+    /// slot cannot be measured.
+    pub fn is_complete_minus_quarantined(&self) -> bool {
+        self.outstanding() == 0
+    }
+
+    /// Fraction of slots measured, in `[0, 1]`.
+    pub fn coverage(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.completed as f64 / self.total as f64
+        }
+    }
+
+    /// One-line human summary, e.g. `14/16 slots (2 quarantined: [5, 9])`.
+    pub fn summary(&self) -> String {
+        if self.quarantined.is_empty() {
+            format!("{}/{} slots", self.completed, self.total)
+        } else {
+            format!(
+                "{}/{} slots ({} quarantined: {:?})",
+                self.completed,
+                self.total,
+                self.quarantined.len(),
+                self.quarantined
+            )
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,5 +258,43 @@ mod tests {
     #[should_panic(expected = "nothing to plot")]
     fn empty_plot_panics() {
         let _ = ascii_plot(&[], 10, 10, "x");
+    }
+
+    #[test]
+    fn accounting_distinguishes_full_from_degraded_complete() {
+        let full = CampaignAccounting::new(4, &[0, 1, 2, 3], &[]);
+        assert!(full.is_full() && full.is_complete_minus_quarantined());
+        assert_eq!(full.outstanding(), 0);
+        assert_eq!(full.coverage(), 1.0);
+        assert_eq!(full.summary(), "4/4 slots");
+
+        let degraded = CampaignAccounting::new(4, &[0, 2, 3], &[1]);
+        assert!(!degraded.is_full());
+        assert!(degraded.is_complete_minus_quarantined());
+        assert_eq!(degraded.outstanding(), 0);
+        assert_eq!(degraded.summary(), "3/4 slots (1 quarantined: [1])");
+
+        let running = CampaignAccounting::new(4, &[0], &[1]);
+        assert!(!running.is_complete_minus_quarantined());
+        assert_eq!(running.outstanding(), 2);
+    }
+
+    #[test]
+    fn accounting_reclassifies_measured_quarantine_as_completed() {
+        // Slot 1 was fenced but an earlier attempt journaled it: the
+        // measurement wins, quarantine only permits absence.
+        let a = CampaignAccounting::new(4, &[0, 1, 2, 3], &[1, 1, 3]);
+        assert!(a.quarantined.is_empty());
+        assert!(a.is_full());
+        // Duplicate and unsorted quarantine input normalizes.
+        let b = CampaignAccounting::new(6, &[0, 2], &[5, 3, 5]);
+        assert_eq!(b.quarantined, vec![3, 5]);
+        assert_eq!(b.outstanding(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn accounting_rejects_foreign_slots() {
+        let _ = CampaignAccounting::new(4, &[9], &[]);
     }
 }

@@ -42,8 +42,10 @@
 
 pub mod config;
 pub mod fault;
+pub mod names;
 pub mod plan;
 
 pub use config::FaultConfig;
 pub use fault::{Fault, FaultWindow, Topology};
+pub use names::{ElementNames, NameError, NamedFault};
 pub use plan::FaultPlan;

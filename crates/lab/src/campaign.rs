@@ -523,6 +523,20 @@ impl Campaign for Selftest {
     }
 
     fn run_slot(&self, ctx: TaskCtx) -> Vec<f64> {
+        // Deterministic poison hook for the quarantine machinery: when
+        // MB_SELFTEST_POISON names this slot, the slot panics on every
+        // attempt — the "crashes its worker K times in a row" case the
+        // supervisor must fence off instead of retrying forever. The
+        // contained sweep turns the panic into TaskFailed, the driver
+        // into exit code 4.
+        if let Ok(poison) = std::env::var("MB_SELFTEST_POISON") {
+            if poison
+                .split(',')
+                .any(|p| p.trim().parse::<usize>() == Ok(ctx.index))
+            {
+                panic!("poisoned slot {} (MB_SELFTEST_POISON)", ctx.index);
+            }
+        }
         // Three deterministic, finite values per slot: mantissa-spread
         // fractions of the slot seed and its index mix.
         let frac = |x: u64| (x >> 11) as f64 / (1u64 << 53) as f64;

@@ -58,7 +58,7 @@ impl Shard {
 }
 
 /// Knobs for one driver invocation beyond the campaign itself.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunOptions {
     /// This process's shard assignment.
     pub shard: Shard,
@@ -71,6 +71,11 @@ pub struct RunOptions {
     /// first, so repeated bounded invocations walk the shard
     /// deterministically front to back.
     pub max_slots: Option<usize>,
+    /// Quarantined slots this invocation must not execute (they may
+    /// still replay if an earlier attempt journaled them). The
+    /// supervisor passes the fenced poison slots here so a restarted
+    /// worker resumes *past* the slot that kept killing it.
+    pub skip_slots: Vec<usize>,
 }
 
 impl Default for RunOptions {
@@ -79,6 +84,9 @@ impl Default for RunOptions {
             shard: Shard::solo(),
             task_delay_ms: 0,
             max_slots: None,
+            // An empty `Vec::new` never allocates, and options are
+            // built once per run, not per slot.
+            skip_slots: Vec::new(), // mb-check: allow(hot-alloc)
         }
     }
 }
@@ -93,6 +101,9 @@ pub struct RunOutcome {
     /// Owned slots still missing after this invocation (nonzero only
     /// for bounded runs).
     pub remaining: usize,
+    /// Owned missing slots withheld because [`RunOptions::skip_slots`]
+    /// quarantined them.
+    pub skipped: usize,
     /// Wall time of every slot executed in this process, as
     /// `(slot, seconds)` in ascending slot order.
     pub slot_secs: Vec<(usize, f64)>,
@@ -132,7 +143,7 @@ pub fn run_campaign(
         &RunOptions {
             shard,
             task_delay_ms,
-            max_slots: None,
+            ..RunOptions::default()
         },
     )
 }
@@ -149,8 +160,9 @@ pub fn run_campaign(
 /// Any [`JournalError`] from opening, verifying or appending to the
 /// journal; [`JournalError::BadPayload`] when a journaled record's
 /// width disagrees with the campaign's fixed slot width; plus
-/// [`JournalError::BadShardFamily`] if a slot execution dies (surfaced
-/// with the failing slot's label).
+/// [`JournalError::SlotFailed`] if a slot execution dies (surfaced
+/// with the failing slot's index and label, and mapped to the
+/// restartable exit code 4 by the CLI).
 pub fn run_campaign_with(
     campaign: &dyn Campaign,
     journal_path: &Path,
@@ -184,6 +196,9 @@ pub fn run_campaign_with(
         .filter(|&i| shard.owns(i))
         .collect();
     owned_missing.sort_unstable();
+    let before_skip = owned_missing.len();
+    owned_missing.retain(|i| !opts.skip_slots.contains(i));
+    let skipped = before_skip - owned_missing.len();
     let remaining = match opts.max_slots {
         Some(bound) if bound < owned_missing.len() => {
             let rest = owned_missing.len() - bound;
@@ -236,8 +251,9 @@ pub fn run_campaign_with(
         .into_iter()
         .find(|(i, _)| attempted[*i])
     {
-        return Err(JournalError::BadShardFamily {
-            detail: format!("slot {slot} failed: {err}"),
+        return Err(JournalError::SlotFailed {
+            slot,
+            detail: err.to_string(),
         });
     }
 
@@ -258,6 +274,7 @@ pub fn run_campaign_with(
         replayed,
         executed,
         remaining,
+        skipped,
         slot_secs,
         recovered_torn_tail,
         digest: final_digest,

@@ -112,6 +112,16 @@ pub enum JournalError {
         /// Width the campaign's slots produce.
         expected: usize,
     },
+    /// A campaign slot panicked inside the contained sweep. The journal
+    /// itself is healthy — every slot completed before the panic is
+    /// persisted — so a supervisor may restart the worker and resume,
+    /// quarantining the slot if it keeps crashing.
+    SlotFailed {
+        /// The failing slot index.
+        slot: usize,
+        /// The contained panic, rendered (label + payload text).
+        detail: String,
+    },
 }
 
 impl fmt::Display for JournalError {
@@ -159,6 +169,41 @@ impl fmt::Display for JournalError {
                 "journal records a {got}-value payload for slot {slot}, campaign slots are \
                  {expected} values wide"
             ),
+            // The leading "slot <n> failed:" form is parsed by the
+            // supervisor's poison-slot tracker — keep it stable.
+            JournalError::SlotFailed { slot, detail } => {
+                write!(f, "slot {slot} failed: {detail}")
+            }
+        }
+    }
+}
+
+impl JournalError {
+    /// The process exit code a driver should report for this error
+    /// (see [`mb_simcore::error::exit_code`]): corruption of the
+    /// on-disk format maps to [`exit_code::CORRUPT`], a contained slot
+    /// panic to [`exit_code::SLOT_PANIC`], and disagreements between a
+    /// healthy file and the invocation (wrong campaign, inconsistent
+    /// shard family, unreadable path) to [`exit_code::ENV_MISCONFIG`].
+    ///
+    /// [`exit_code::CORRUPT`]: mb_simcore::error::exit_code::CORRUPT
+    /// [`exit_code::SLOT_PANIC`]: mb_simcore::error::exit_code::SLOT_PANIC
+    /// [`exit_code::ENV_MISCONFIG`]: mb_simcore::error::exit_code::ENV_MISCONFIG
+    pub fn exit_code(&self) -> u8 {
+        use mb_simcore::error::exit_code;
+        match self {
+            JournalError::VersionSkew { .. }
+            | JournalError::BadHeader { .. }
+            | JournalError::BadRecord { .. }
+            | JournalError::ChainMismatch { .. }
+            | JournalError::DuplicateSlot { .. }
+            | JournalError::ForeignSlot { .. }
+            | JournalError::BadPayload { .. } => exit_code::CORRUPT,
+            JournalError::SlotFailed { .. } => exit_code::SLOT_PANIC,
+            JournalError::Io(_)
+            | JournalError::HeaderMismatch { .. }
+            | JournalError::BadShardFamily { .. }
+            | JournalError::IncompleteMerge { .. } => exit_code::ENV_MISCONFIG,
         }
     }
 }
@@ -188,7 +233,7 @@ pub struct JournalHeader {
 
 impl JournalHeader {
     /// Renders the header line (without the trailing newline).
-    fn render(&self) -> String {
+    pub(crate) fn render(&self) -> String {
         format!(
             "{FORMAT_VERSION} campaign={} seed={:016x} tasks={} shard={}/{}",
             self.campaign, self.seed, self.tasks, self.shard_index, self.shard_count
@@ -245,7 +290,7 @@ impl JournalHeader {
 }
 
 /// FNV-1a over a byte string — the line hash feeding the digest chain.
-fn fnv1a64(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);
@@ -264,18 +309,18 @@ fn mix64(mut z: u64) -> u64 {
 
 /// Chain value after appending a record with body `body` to a chain
 /// currently at `prev`.
-fn chain_step(prev: u64, body: &str) -> u64 {
+pub(crate) fn chain_step(prev: u64, body: &str) -> u64 {
     mix64(prev ^ fnv1a64(body.as_bytes()))
 }
 
 /// Renders a record body (everything before the chain field).
-fn record_body(slot: usize, payload: &[f64]) -> String {
+pub(crate) fn record_body(slot: usize, payload: &[f64]) -> String {
     let hex: Vec<String> = payload.iter().map(|v| format!("{:016x}", v.to_bits())).collect();
     format!("r {:x} {}", slot, hex.join(","))
 }
 
 /// Parses a record line into `(slot, payload, chain)`.
-fn parse_record(line: &str) -> Option<(usize, Vec<f64>, u64)> {
+pub(crate) fn parse_record(line: &str) -> Option<(usize, Vec<f64>, u64)> {
     let rest = line.strip_prefix("r ")?;
     let mut fields = rest.split(' ');
     let slot = usize::from_str_radix(fields.next()?, 16).ok()?;
@@ -498,6 +543,30 @@ impl Journal {
     pub fn path(&self) -> &Path {
         &self.path
     }
+
+    /// The chain value after the first `count` records (in append
+    /// order); `count == 0` yields the header-seeded chain start.
+    /// Recomputed from verified records, so any `count` up to
+    /// `records.len()` is valid — the transport uses this to verify a
+    /// segment's splice point.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `count > records.len()` — callers bound it first.
+    pub fn chain_at(&self, count: usize) -> u64 {
+        assert!(count <= self.records.len(), "chain_at past journal end");
+        let mut chain = fnv1a64(self.header.render().as_bytes());
+        for (slot, payload) in &self.records[..count] {
+            chain = chain_step(chain, &record_body(*slot, payload));
+        }
+        chain
+    }
+
+    /// The chain value over the whole verified file (header + every
+    /// record) — the value the next append will mix against.
+    pub fn chain(&self) -> u64 {
+        self.chain
+    }
 }
 
 /// Merges one complete shard family into a single canonical journal at
@@ -514,6 +583,25 @@ impl Journal {
 /// [`JournalError::IncompleteMerge`] when slots are missing, plus any
 /// load/write error.
 pub fn merge(out: &Path, inputs: &[PathBuf]) -> Result<Journal, JournalError> {
+    merge_allowing(out, inputs, &[])
+}
+
+/// [`merge`] with a quarantine list: slots named in `allow_missing`
+/// may be absent from every input (the supervisor fenced them off
+/// after repeated worker crashes) and are simply left out of the
+/// merged journal. Any *other* missing slot is still
+/// [`JournalError::IncompleteMerge`], and a quarantined slot that does
+/// have a record is merged normally — quarantine permits absence, it
+/// does not erase data.
+///
+/// # Errors
+///
+/// As [`merge`].
+pub fn merge_allowing(
+    out: &Path,
+    inputs: &[PathBuf],
+    allow_missing: &[usize],
+) -> Result<Journal, JournalError> {
     if inputs.is_empty() {
         return Err(JournalError::BadShardFamily {
             detail: "no input journals".to_string(),
@@ -569,6 +657,7 @@ pub fn merge(out: &Path, inputs: &[PathBuf]) -> Result<Journal, JournalError> {
         .iter()
         .enumerate()
         .filter_map(|(i, s)| s.is_none().then_some(i))
+        .filter(|i| !allow_missing.contains(i))
         .collect();
     if !missing.is_empty() {
         return Err(JournalError::IncompleteMerge { missing });
@@ -583,7 +672,9 @@ pub fn merge(out: &Path, inputs: &[PathBuf]) -> Result<Journal, JournalError> {
     };
     let mut merged = Journal::create(out, merged_header)?;
     for (slot, payload) in slots.into_iter().enumerate() {
-        merged.append(slot, &payload.expect("missing slots rejected above"))?;
+        if let Some(payload) = payload {
+            merged.append(slot, &payload)?;
+        }
     }
     Ok(merged)
 }

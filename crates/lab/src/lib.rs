@@ -12,7 +12,13 @@
 //! * [`campaign`] — the registry binding campaign names to the slot
 //!   APIs of the figure runners and to their pinned digests;
 //! * [`driver`] — replay + [`mb_simcore::par::Checkpoint`] resume +
-//!   modulo sharding (`slot % N == i`) + journal merge.
+//!   modulo sharding (`slot % N == i`) + journal merge;
+//! * [`transport`] — idempotent segment export/ingest between journal
+//!   replicas, the stand-in for per-host uploads;
+//! * [`supervise`] — the shard-family babysitter: restart-on-crash
+//!   with seeded bounded backoff, clock-free hang detection and
+//!   poison-slot quarantine, reporting a machine-readable
+//!   [`supervise::SuperviseReport`].
 //!
 //! The determinism contract is the workspace-wide one: a campaign run
 //! killed at any instant and resumed, or split across any shard count
@@ -23,7 +29,11 @@
 pub mod campaign;
 pub mod driver;
 pub mod journal;
+pub mod supervise;
+pub mod transport;
 
 pub use campaign::{digest, Campaign};
 pub use driver::{digest_journal, expected_header, run_campaign, RunOutcome, Shard};
-pub use journal::{merge, Journal, JournalError, JournalHeader};
+pub use journal::{merge, merge_allowing, Journal, JournalError, JournalHeader};
+pub use supervise::{supervise, SupervisePolicy, SuperviseReport};
+pub use transport::{export_segment, ingest_segment, IngestOutcome, TransportError};

@@ -1,12 +1,34 @@
-//! `mb-lab` CLI — run, shard, merge and digest experiment campaigns.
+//! `mb-lab` CLI — run, shard, supervise, merge and digest experiment
+//! campaigns.
 //!
 //! ```text
 //! mb-lab list
 //! mb-lab run <campaign> --journal <path> [--shard i/N] [--task-delay-ms d]
-//!        [--max-slots n] [--times]
+//!        [--max-slots n] [--skip-slots a,b,c] [--times]
+//! mb-lab supervise <campaign> --dir <path> [--shards N] [--poll-ms d]
+//!        [--hang-polls n] [--poison-threshold k] [--max-restarts n]
+//!        [--backoff-base-ms d] [--backoff-cap-ms d] [--max-polls n]
+//!        [--task-delay-ms d] [--chaos-kills n]
+//! mb-lab export <journal> <segment> [--from k]
+//! mb-lab ingest <journal> <segment>
 //! mb-lab merge <out> <in>...
 //! mb-lab digest <journal> [--expect 0xHEX] [--check]
 //! ```
+//!
+//! ## Exit codes
+//!
+//! The exit status is a documented contract (see
+//! `mb_simcore::error::exit_code`) so a supervisor can tell *why* a
+//! worker died:
+//!
+//! | code | meaning                                                  |
+//! |------|----------------------------------------------------------|
+//! | 0    | success                                                  |
+//! | 1    | generic failure (e.g. digest mismatch under `--check`)   |
+//! | 2    | usage: unknown flag, missing operand, malformed value    |
+//! | 3    | journal/segment corruption (chain break, version skew, …)|
+//! | 4    | a campaign slot panicked (restartable, maybe poisoned)   |
+//! | 5    | env/shard misconfiguration (bad `MB_*`, wrong campaign, …)|
 //!
 //! The shard assignment comes from `--shard i/N` or, failing that, the
 //! `MB_SHARD` environment variable (same syntax); default `0/1`. A
@@ -18,18 +40,36 @@
 //! `--times` prints per-slot wall times. Worker threads follow the
 //! workspace-wide `MB_THREADS` variable.
 
-use mb_lab::{campaign, driver, journal};
+use mb_lab::{campaign, driver, journal, supervise, transport};
+use mb_simcore::error::exit_code;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  mb-lab list\n  mb-lab run <campaign> --journal <path> \
-         [--shard i/N] [--task-delay-ms d] [--max-slots n] [--times]\n  \
+         [--shard i/N] [--task-delay-ms d] [--max-slots n] [--skip-slots a,b,c] [--times]\n  \
+         mb-lab supervise <campaign> --dir <path> [--shards N] [--poll-ms d] [--hang-polls n]\n    \
+         [--poison-threshold k] [--max-restarts n] [--backoff-base-ms d] [--backoff-cap-ms d]\n    \
+         [--max-polls n] [--task-delay-ms d] [--chaos-kills n]\n  \
+         mb-lab export <journal> <segment> [--from k]\n  \
+         mb-lab ingest <journal> <segment>\n  \
          mb-lab merge <out> <in>...\n  \
          mb-lab digest <journal> [--expect 0xHEX] [--check]"
     );
-    ExitCode::from(2)
+    ExitCode::from(exit_code::USAGE)
+}
+
+/// Prints a journal-layer error and maps it to its documented code.
+fn fail_journal(e: &journal::JournalError) -> ExitCode {
+    eprintln!("mb-lab: {e}");
+    ExitCode::from(e.exit_code())
+}
+
+/// Prints a transport-layer error and maps it to its documented code.
+fn fail_transport(e: &transport::TransportError) -> ExitCode {
+    eprintln!("mb-lab: {e}");
+    ExitCode::from(e.exit_code())
 }
 
 fn main() -> ExitCode {
@@ -37,6 +77,9 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("list") => cmd_list(),
         Some("run") => cmd_run(&args[1..]),
+        Some("supervise") => cmd_supervise(&args[1..]),
+        Some("export") => cmd_export(&args[1..]),
+        Some("ingest") => cmd_ingest(&args[1..]),
         Some("merge") => cmd_merge(&args[1..]),
         Some("digest") => cmd_digest(&args[1..]),
         _ => usage(),
@@ -68,10 +111,21 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let mut shard: Option<driver::Shard> = None;
     let mut task_delay_ms = 0u64;
     let mut max_slots: Option<usize> = None;
+    let mut skip_slots: Vec<usize> = Vec::new();
     let mut show_times = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
+            "--skip-slots" if i + 1 < args.len() => {
+                for part in args[i + 1].split(',') {
+                    let Ok(slot) = part.trim().parse() else {
+                        eprintln!("mb-lab: bad --skip-slots entry '{part}'");
+                        return ExitCode::from(exit_code::USAGE);
+                    };
+                    skip_slots.push(slot);
+                }
+                i += 2;
+            }
             "--journal" if i + 1 < args.len() => {
                 journal_path = Some(PathBuf::from(&args[i + 1]));
                 i += 2;
@@ -79,7 +133,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
             "--shard" if i + 1 < args.len() => {
                 let Some(s) = driver::Shard::parse(&args[i + 1]) else {
                     eprintln!("mb-lab: bad --shard '{}': want i/N with i < N", args[i + 1]);
-                    return ExitCode::from(2);
+                    return ExitCode::from(exit_code::USAGE);
                 };
                 shard = Some(s);
                 i += 2;
@@ -87,7 +141,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
             "--task-delay-ms" if i + 1 < args.len() => {
                 let Ok(d) = args[i + 1].parse() else {
                     eprintln!("mb-lab: bad --task-delay-ms '{}'", args[i + 1]);
-                    return ExitCode::from(2);
+                    return ExitCode::from(exit_code::USAGE);
                 };
                 task_delay_ms = d;
                 i += 2;
@@ -95,7 +149,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
             "--max-slots" if i + 1 < args.len() => {
                 let Ok(n) = args[i + 1].parse() else {
                     eprintln!("mb-lab: bad --max-slots '{}'", args[i + 1]);
-                    return ExitCode::from(2);
+                    return ExitCode::from(exit_code::USAGE);
                 };
                 max_slots = Some(n);
                 i += 2;
@@ -125,7 +179,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
                 Some(s) => s,
                 None => {
                     eprintln!("mb-lab: bad MB_SHARD '{v}': want i/N with i < N");
-                    return ExitCode::from(2);
+                    return ExitCode::from(exit_code::ENV_MISCONFIG);
                 }
             },
             Err(_) => driver::Shard::solo(),
@@ -138,7 +192,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
                 Ok(n) => Some(n),
                 Err(_) => {
                     eprintln!("mb-lab: bad MB_MAX_SLOTS '{v}': want a slot count");
-                    return ExitCode::from(2);
+                    return ExitCode::from(exit_code::ENV_MISCONFIG);
                 }
             },
             Err(_) => None,
@@ -147,12 +201,13 @@ fn cmd_run(args: &[String]) -> ExitCode {
 
     let Some(c) = campaign::find(name) else {
         eprintln!("mb-lab: unknown campaign '{name}' (try `mb-lab list`)");
-        return ExitCode::FAILURE;
+        return ExitCode::from(exit_code::ENV_MISCONFIG);
     };
     let opts = driver::RunOptions {
         shard,
         task_delay_ms,
         max_slots,
+        skip_slots,
     };
     match driver::run_campaign_with(c.as_ref(), &journal_path, &opts) {
         Ok(outcome) => {
@@ -187,6 +242,9 @@ fn cmd_run(args: &[String]) -> ExitCode {
                 outcome.replayed,
                 outcome.executed
             );
+            if outcome.skipped > 0 {
+                print!(", {} skipped (quarantined)", outcome.skipped);
+            }
             match outcome.digest {
                 Some(d) => println!(", digest {d:#018x}"),
                 None if outcome.remaining > 0 => {
@@ -196,10 +254,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        Err(e) => {
-            eprintln!("mb-lab: {e}");
-            ExitCode::FAILURE
-        }
+        Err(e) => fail_journal(&e),
     }
 }
 
@@ -220,10 +275,7 @@ fn cmd_merge(args: &[String]) -> ExitCode {
             );
             ExitCode::SUCCESS
         }
-        Err(e) => {
-            eprintln!("mb-lab: {e}");
-            ExitCode::FAILURE
-        }
+        Err(e) => fail_journal(&e),
     }
 }
 
@@ -240,7 +292,7 @@ fn cmd_digest(args: &[String]) -> ExitCode {
                 let text = args[i + 1].trim_start_matches("0x");
                 let Ok(v) = u64::from_str_radix(text, 16) else {
                     eprintln!("mb-lab: bad --expect '{}'", args[i + 1]);
-                    return ExitCode::from(2);
+                    return ExitCode::from(exit_code::USAGE);
                 };
                 expect = Some(v);
                 i += 2;
@@ -257,17 +309,11 @@ fn cmd_digest(args: &[String]) -> ExitCode {
     }
     let loaded = match journal::Journal::load(Path::new(path)) {
         Ok(j) => j,
-        Err(e) => {
-            eprintln!("mb-lab: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return fail_journal(&e),
     };
     let digest = match driver::digest_journal(&loaded) {
         Ok(d) => d,
-        Err(e) => {
-            eprintln!("mb-lab: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return fail_journal(&e),
     };
     println!("{}: digest {digest:#018x}", loaded.header.campaign);
     if let Some(want) = expect {
@@ -293,4 +339,192 @@ fn cmd_digest(args: &[String]) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// Parses `MB_SEED` (decimal or `0x`-prefixed hex) for the supervise
+/// backoff/chaos schedules; absent means the policy default.
+fn seed_from_env() -> Result<Option<u64>, ExitCode> {
+    match std::env::var("MB_SEED") {
+        Err(_) => Ok(None),
+        Ok(v) => {
+            let parsed = match v.strip_prefix("0x") {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => v.parse(),
+            };
+            match parsed {
+                Ok(seed) => Ok(Some(seed)),
+                Err(_) => {
+                    eprintln!("mb-lab: bad MB_SEED '{v}': want decimal or 0xHEX");
+                    Err(ExitCode::from(exit_code::ENV_MISCONFIG))
+                }
+            }
+        }
+    }
+}
+
+fn cmd_supervise(args: &[String]) -> ExitCode {
+    let Some(name) = args.first() else {
+        return usage();
+    };
+    let mut dir: Option<PathBuf> = None;
+    let mut policy = supervise::SupervisePolicy::default();
+    // Every numeric knob shares one parse-or-usage-error path.
+    let mut i = 1;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = |flag: &str| -> Result<&String, ExitCode> {
+            args.get(i + 1).ok_or_else(|| {
+                eprintln!("mb-lab: {flag} requires a value");
+                ExitCode::from(exit_code::USAGE)
+            })
+        };
+        macro_rules! numeric {
+            ($field:expr) => {{
+                let raw = match value(flag) {
+                    Ok(v) => v,
+                    Err(code) => return code,
+                };
+                match raw.parse() {
+                    Ok(v) => $field = v,
+                    Err(_) => {
+                        eprintln!("mb-lab: bad {flag} '{raw}'");
+                        return ExitCode::from(exit_code::USAGE);
+                    }
+                }
+                i += 2;
+            }};
+        }
+        match flag {
+            "--dir" => {
+                let raw = match value(flag) {
+                    Ok(v) => v,
+                    Err(code) => return code,
+                };
+                dir = Some(PathBuf::from(raw));
+                i += 2;
+            }
+            "--shards" => numeric!(policy.shards),
+            "--poll-ms" => numeric!(policy.poll_ms),
+            "--hang-polls" => numeric!(policy.hang_polls),
+            "--poison-threshold" => numeric!(policy.poison_threshold),
+            "--max-restarts" => numeric!(policy.max_restarts),
+            "--backoff-base-ms" => numeric!(policy.backoff_base_ms),
+            "--backoff-cap-ms" => numeric!(policy.backoff_cap_ms),
+            "--max-polls" => numeric!(policy.max_polls),
+            "--task-delay-ms" => numeric!(policy.task_delay_ms),
+            "--chaos-kills" => numeric!(policy.chaos_kills),
+            other => {
+                eprintln!("mb-lab: unknown supervise option '{other}'");
+                return usage();
+            }
+        }
+    }
+    let Some(dir) = dir else {
+        eprintln!("mb-lab: supervise requires --dir <path>");
+        return usage();
+    };
+    if policy.shards == 0 {
+        eprintln!("mb-lab: --shards must be at least 1");
+        return ExitCode::from(exit_code::USAGE);
+    }
+    match seed_from_env() {
+        Ok(Some(seed)) => policy.seed = seed,
+        Ok(None) => {}
+        Err(code) => return code,
+    }
+    // Workers are this very binary.
+    let worker_exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("mb-lab: cannot locate own binary: {e}");
+            return ExitCode::from(exit_code::ENV_MISCONFIG);
+        }
+    };
+    match supervise::supervise(name, &dir, &worker_exe, &policy) {
+        Ok(report) => {
+            let restarts: u32 = report.per_shard.iter().map(|s| s.crashes).sum();
+            println!(
+                "{name}: supervised {} shard(s): {} ({} restart(s), {} hang(s), {} chaos kill(s))",
+                report.shards,
+                report.accounting.summary(),
+                restarts,
+                report.per_shard.iter().map(|s| s.hangs).sum::<u32>(),
+                report.chaos_kills
+            );
+            match report.digest {
+                Some(d) if report.digest_checked => {
+                    println!("merged digest {d:#018x} (pinned digest check: ok)")
+                }
+                Some(d) => println!("merged digest {d:#018x} (no pin registered)"),
+                None => println!(
+                    "degraded completion: {} slot(s) quarantined, digest withheld",
+                    report.quarantined.len()
+                ),
+            }
+            println!("report: {}", dir.join("report.json").display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("mb-lab: {e}");
+            ExitCode::from(e.exit_code())
+        }
+    }
+}
+
+fn cmd_export(args: &[String]) -> ExitCode {
+    let (Some(journal_path), Some(segment)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    let mut from = 0usize;
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--from" if i + 1 < args.len() => {
+                let Ok(k) = args[i + 1].parse() else {
+                    eprintln!("mb-lab: bad --from '{}'", args[i + 1]);
+                    return ExitCode::from(exit_code::USAGE);
+                };
+                from = k;
+                i += 2;
+            }
+            other => {
+                eprintln!("mb-lab: unknown export option '{other}'");
+                return usage();
+            }
+        }
+    }
+    match transport::export_segment(Path::new(journal_path), from, Path::new(segment)) {
+        Ok(seg) => {
+            println!(
+                "exported {} record(s) [{}..{}] of {} -> {}",
+                seg.records.len(),
+                seg.from,
+                seg.from + seg.records.len(),
+                journal_path,
+                segment
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail_transport(&e),
+    }
+}
+
+fn cmd_ingest(args: &[String]) -> ExitCode {
+    let (Some(journal_path), Some(segment)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    if args.len() > 2 {
+        eprintln!("mb-lab: unknown ingest option '{}'", args[2]);
+        return usage();
+    }
+    match transport::ingest_segment(Path::new(journal_path), Path::new(segment)) {
+        Ok(out) => {
+            println!(
+                "ingested {} -> {}: {} appended, {} duplicate(s) verified",
+                segment, journal_path, out.appended, out.duplicates
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail_transport(&e),
+    }
 }

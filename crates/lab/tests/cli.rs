@@ -18,7 +18,9 @@ fn scratch(name: &str) -> PathBuf {
 /// process's own environment can never leak into an assertion.
 fn mb_lab() -> Command {
     let mut cmd = Command::new(env!("CARGO_BIN_EXE_mb-lab"));
-    cmd.env_remove("MB_SHARD").env_remove("MB_MAX_SLOTS");
+    cmd.env_remove("MB_SHARD")
+        .env_remove("MB_MAX_SLOTS")
+        .env_remove("MB_SELFTEST_POISON");
     cmd
 }
 
@@ -58,8 +60,8 @@ fn malformed_mb_shard_is_a_hard_error() {
             .expect("run mb-lab");
         assert_eq!(
             output.status.code(),
-            Some(2),
-            "MB_SHARD='{bad}' must exit 2, not silently run solo"
+            Some(5),
+            "MB_SHARD='{bad}' must exit 5 (env misconfig), not silently run solo"
         );
         let stderr = String::from_utf8_lossy(&output.stderr);
         assert!(
@@ -95,7 +97,14 @@ fn well_formed_mb_shard_is_honored() {
 #[test]
 fn malformed_max_slots_is_a_hard_error() {
     let dir = scratch("bad-max-slots");
-    for (flag_value, env_value) in [(Some("zero"), None), (None, Some("-3")), (None, Some("1/2"))] {
+    // The flag spelling is a usage error (2); the env spelling is an
+    // environment misconfiguration (5) — same validation, distinct
+    // documented exit codes.
+    for (flag_value, env_value, code) in [
+        (Some("zero"), None, 2),
+        (None, Some("-3"), 5),
+        (None, Some("1/2"), 5),
+    ] {
         let mut cmd = mb_lab();
         cmd.args(["run", "selftest", "--journal"])
             .arg(dir.join("never-created.journal"));
@@ -108,8 +117,8 @@ fn malformed_max_slots_is_a_hard_error() {
         let output = cmd.output().expect("run mb-lab");
         assert_eq!(
             output.status.code(),
-            Some(2),
-            "max-slots flag={flag_value:?} env={env_value:?} must exit 2"
+            Some(code),
+            "max-slots flag={flag_value:?} env={env_value:?} must exit {code}"
         );
         let stderr = String::from_utf8_lossy(&output.stderr);
         assert!(
@@ -117,6 +126,90 @@ fn malformed_max_slots_is_a_hard_error() {
             "diagnostic missing: {stderr}"
         );
     }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_journal_exits_3() {
+    let dir = scratch("corrupt");
+    let journal = dir.join("selftest.journal");
+    let output = mb_lab()
+        .args(["run", "selftest", "--journal"])
+        .arg(&journal)
+        .output()
+        .expect("seed a valid journal");
+    assert!(output.status.success());
+    // Flip one hex digit of a mid-journal chain value: the digest
+    // command must refuse the journal with the documented corruption
+    // code, not quietly recompute over bad records.
+    let text = fs::read_to_string(&journal).expect("read journal");
+    let mut lines: Vec<String> = text.lines().map(String::from).collect();
+    let victim = lines.iter().position(|l| l.starts_with("r ")).expect("a record line") + 2;
+    let tampered = lines[victim].clone();
+    let last = tampered.chars().last().expect("nonempty record");
+    let flipped = if last == '0' { '1' } else { '0' };
+    lines[victim] = format!("{}{}", &tampered[..tampered.len() - 1], flipped);
+    fs::write(&journal, lines.join("\n") + "\n").expect("tamper journal");
+    let output = mb_lab()
+        .arg("digest")
+        .arg(&journal)
+        .output()
+        .expect("digest the tampered journal");
+    assert_eq!(
+        output.status.code(),
+        Some(3),
+        "chain corruption must exit 3: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn poisoned_slot_exits_4_with_the_stable_stderr_line() {
+    let dir = scratch("poison-exit");
+    let output = mb_lab()
+        .args(["run", "selftest", "--journal"])
+        .arg(dir.join("selftest.journal"))
+        .env("MB_SELFTEST_POISON", "5")
+        .output()
+        .expect("run mb-lab with a poisoned slot");
+    assert_eq!(
+        output.status.code(),
+        Some(4),
+        "a panicking slot must exit 4 (slot panic): {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("slot 5 failed:"),
+        "the supervisor-parseable diagnostic is part of the contract: {stderr}"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resuming_into_a_foreign_campaign_journal_exits_5() {
+    let dir = scratch("foreign");
+    let journal = dir.join("one.journal");
+    let output = mb_lab()
+        .args(["run", "selftest", "--journal"])
+        .arg(&journal)
+        .output()
+        .expect("seed a selftest journal");
+    assert!(output.status.success());
+    // Pointing a different campaign at that journal is a deployment
+    // mistake (wrong path wiring), not corruption: exit 5.
+    let output = mb_lab()
+        .args(["run", "fig3-quick", "--journal"])
+        .arg(&journal)
+        .output()
+        .expect("run the wrong campaign");
+    assert_eq!(
+        output.status.code(),
+        Some(5),
+        "campaign/journal mismatch must exit 5: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
     let _ = fs::remove_dir_all(&dir);
 }
 

@@ -21,6 +21,33 @@ use std::fmt;
 /// Workspace-wide result alias.
 pub type MbResult<T> = Result<T, MbError>;
 
+/// Documented process exit codes for the experiment drivers.
+///
+/// A supervisor restarting crashed shard workers can only make good
+/// decisions if the worker's exit status tells it *why* the worker
+/// died: a poisoned slot should eventually be quarantined, a corrupt
+/// journal should abort the family, a misconfigured environment should
+/// never be retried. These constants are the contract between the
+/// `mb-lab` binary and anything that spawns it; keep them in sync with
+/// the table in `mb-lab`'s `--help` text and DESIGN.md.
+pub mod exit_code {
+    /// Generic failure with no more specific classification (e.g. a
+    /// digest mismatch under `--check`).
+    pub const FAILURE: u8 = 1;
+    /// Bad command line: unknown flag, missing operand, malformed value.
+    pub const USAGE: u8 = 2;
+    /// Journal (or transport segment) corruption: version skew, broken
+    /// digest chain, duplicate or foreign slots, torn segments.
+    pub const CORRUPT: u8 = 3;
+    /// A campaign slot panicked inside the contained sweep — the
+    /// restartable, possibly-poisoned case.
+    pub const SLOT_PANIC: u8 = 4;
+    /// Environment or shard misconfiguration: malformed `MB_*`
+    /// variables, header/campaign mismatches, unknown campaign names,
+    /// inconsistent shard families.
+    pub const ENV_MISCONFIG: u8 = 5;
+}
+
 /// A recoverable failure anywhere in the simulation stack.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum MbError {
@@ -90,6 +117,26 @@ impl fmt::Display for MbError {
     }
 }
 
+impl MbError {
+    /// The process exit code a driver should report when this error is
+    /// what killed the run (see [`exit_code`]).
+    ///
+    /// Only the variants a driver can actually die on get a distinct
+    /// code: a contained task panic is the restartable
+    /// [`exit_code::SLOT_PANIC`], a configuration the caller handed in
+    /// is [`exit_code::ENV_MISCONFIG`], and the transport-level
+    /// variants (routes, drops, timeouts, crashed ranks) are modelling
+    /// inputs that should have been absorbed long before process exit —
+    /// reaching it with one is a plain [`exit_code::FAILURE`].
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            MbError::TaskFailed { .. } => exit_code::SLOT_PANIC,
+            MbError::InvalidConfig { .. } => exit_code::ENV_MISCONFIG,
+            _ => exit_code::FAILURE,
+        }
+    }
+}
+
 impl std::error::Error for MbError {}
 
 #[cfg(test)]
@@ -115,6 +162,29 @@ mod tests {
             what: "fabric has 2 hosts, 8 needed".to_string(),
         };
         assert_eq!(e.to_string(), "fabric has 2 hosts, 8 needed");
+    }
+
+    #[test]
+    fn exit_codes_distinguish_panic_from_misconfig() {
+        let panic = MbError::TaskFailed {
+            label: "slot3".to_string(),
+            message: "boom".to_string(),
+        };
+        let cfg = MbError::InvalidConfig {
+            what: "bad".to_string(),
+        };
+        assert_eq!(panic.exit_code(), exit_code::SLOT_PANIC);
+        assert_eq!(cfg.exit_code(), exit_code::ENV_MISCONFIG);
+        assert_eq!(MbError::RankCrashed { rank: 1 }.exit_code(), exit_code::FAILURE);
+        // The codes themselves are the documented contract.
+        let all = [
+            exit_code::FAILURE,
+            exit_code::USAGE,
+            exit_code::CORRUPT,
+            exit_code::SLOT_PANIC,
+            exit_code::ENV_MISCONFIG,
+        ];
+        assert_eq!(all, [1, 2, 3, 4, 5]);
     }
 
     #[test]

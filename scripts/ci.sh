@@ -77,6 +77,34 @@ cargo run --release -p mb-lab --bin mb-lab -- \
 cargo run --release -p mb-lab --bin mb-lab -- \
     digest "$LAB_DIR/paper-merged.journal" --expect 0xc49f00d6ca0ac4ad --check
 
+echo "==> mb-lab supervise chaos smoke (SIGKILL + duplicate segment -> pinned digest)"
+# The crash-tolerant supervisor end to end: a 2-shard fig3-quick family
+# with one seeded SIGKILL injected mid-run. The supervisor must restart
+# the killed worker, resume from its journal, push every shard through
+# the mbseg1 export/ingest transport (re-ingesting shard 0's segment as
+# a deliberate duplicate upload), merge, and verify the pinned digest —
+# all inside a 60 s wall-time budget.
+sup_start=$(date +%s%N)
+SUP_OUT="$(cargo run --release -p mb-lab --bin mb-lab -- \
+    supervise fig3-quick --dir "$LAB_DIR/family" --shards 2 \
+    --chaos-kills 1 --poll-ms 10 --task-delay-ms 100)"
+sup_elapsed_ms=$(( ($(date +%s%N) - sup_start) / 1000000 ))
+grep -q "pinned digest check: ok" <<<"$SUP_OUT" \
+    || { echo "supervised family missed the pin: $SUP_OUT"; exit 1; }
+grep -q '"chaos_kills": 1' "$LAB_DIR/family/report.json" \
+    || { echo "seeded kill did not land (report.json)"; exit 1; }
+echo "    supervise wall time: ${sup_elapsed_ms} ms (budget 60000 ms)"
+if [ "$sup_elapsed_ms" -ge 60000 ]; then
+    echo "supervise smoke exceeded its 60 s wall-time budget"; exit 1
+fi
+
+echo "==> mb-lab exit-code contract (CLI + chaos suites)"
+# The documented exit taxonomy (2 usage / 3 corruption / 4 slot panic /
+# 5 env misconfig) and the chaos harness are tier-1, but name them
+# explicitly so a contract regression fails loudly here, not as one
+# line in the workspace wall of dots.
+cargo test --release -p mb-lab --test cli --test supervise_chaos --quiet
+
 echo "==> campaign_eta (paper-grid cost model -> BENCH_campaigns.json)"
 cargo run --release -p mb-bench --bin campaign_eta
 
