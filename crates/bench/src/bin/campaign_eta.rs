@@ -9,14 +9,90 @@
 //! the mean CI actually pays.
 
 use mb_bench::header;
-use mb_lab::campaign::registry;
+use mb_lab::campaign::{registry, FIG3_QUICK_DIGEST};
+use mb_lab::client;
 use mb_lab::driver::{run_campaign_with, RunOptions};
 use montblanc::report::TextTable;
 use std::fs;
+use std::path::Path;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
 
 /// Slots sampled per campaign — enough to average out per-slot
 /// variance without paying for a full fig5 grid.
 const SAMPLE_SLOTS: usize = 16;
+
+/// Jobs pushed through the service for the throughput sample.
+const SERVE_JOBS: usize = 4;
+
+/// Samples `mb-lab serve` end-to-end throughput: a real server child
+/// process (the bench stays single-threaded), `SERVE_JOBS` fig3-quick
+/// submissions over the socket, drained through `watch` — every one
+/// must still hit the pinned digest, or the number is meaningless.
+/// Returns the JSON fragment, or `None` when the binary is missing
+/// (e.g. bench built without the lab bin).
+fn serve_throughput(dir: &Path) -> Option<String> {
+    let mb_lab = std::env::current_exe().ok()?.parent()?.join("mb-lab");
+    if !mb_lab.exists() {
+        println!("serve throughput: skipped ({} not built)", mb_lab.display());
+        return None;
+    }
+    let data = dir.join("serve-data");
+    let mut server = Command::new(&mb_lab)
+        .arg("serve")
+        .arg("--dir")
+        .arg(&data)
+        .args(["--workers", "2"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .ok()?;
+    let addr_file = data.join("addr.txt");
+    let mut addr = String::new();
+    for _ in 0..200 {
+        if let Ok(text) = fs::read_to_string(&addr_file) {
+            if !text.trim().is_empty() {
+                addr = text.trim().to_string();
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    if addr.is_empty() {
+        let _ = server.kill();
+        let _ = server.wait();
+        println!("serve throughput: skipped (server did not come up)");
+        return None;
+    }
+
+    let start = Instant::now();
+    let mut jobs = Vec::new();
+    for _ in 0..SERVE_JOBS {
+        let (job, _) = client::submit(&addr, "fig3-quick", 2).expect("submit over the socket");
+        jobs.push(job);
+    }
+    for job in &jobs {
+        let outcome = client::watch(&addr, job, |_, _, _| {}).expect("watch to completion");
+        assert_eq!(
+            outcome.digest,
+            Some(FIG3_QUICK_DIGEST),
+            "{job} diverged under service load"
+        );
+    }
+    let wall_secs = start.elapsed().as_secs_f64();
+    let _ = client::shutdown(&addr);
+    let _ = server.wait();
+
+    let jobs_per_min = SERVE_JOBS as f64 * 60.0 / wall_secs;
+    println!(
+        "serve throughput: {SERVE_JOBS} fig3-quick jobs (2 shards each) in {wall_secs:.2} s \
+         = {jobs_per_min:.1} jobs/min, all digest-pinned"
+    );
+    Some(format!(
+        "  \"serve\": {{\"campaign\": \"fig3-quick\", \"jobs\": {SERVE_JOBS}, \"shards\": 2, \
+         \"wall_secs\": {wall_secs:.3}, \"jobs_per_min\": {jobs_per_min:.3}}}"
+    ))
+}
 
 fn main() {
     header("mb-lab paper campaigns: sampled slot cost and full-grid ETA");
@@ -62,8 +138,10 @@ fn main() {
     }
     println!("{}", t.render());
 
+    let serve_fragment = serve_throughput(&dir);
+    let serve_json = serve_fragment.map_or(String::new(), |s| format!(",\n{s}"));
     let json = format!(
-        "{{\n  \"sample_slots\": {SAMPLE_SLOTS},\n  \"campaigns\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"sample_slots\": {SAMPLE_SLOTS},\n  \"campaigns\": [\n{}\n  ]{serve_json}\n}}\n",
         json_rows.join(",\n")
     );
     fs::write("BENCH_campaigns.json", &json).expect("write BENCH_campaigns.json");

@@ -1,0 +1,324 @@
+//! The client half of the `mbsrv1` service: one connection per
+//! request, typed replies mapped back onto the documented exit codes.
+//!
+//! Every call here opens a TCP connection to the server, writes one
+//! request frame, and consumes the reply (or reply stream). The
+//! failure mapping is the whole point:
+//!
+//! * a refused/dropped connection is [`ClientError::Protocol`] with
+//!   an I/O cause → exit 7 (`UNAVAILABLE`) — the server is down,
+//!   retry later;
+//! * a `busy` reply is [`ClientError::Busy`] → exit 7 — typed
+//!   backpressure, retry later;
+//! * an `err code=N` reply is [`ClientError::Server`] → exit `N`,
+//!   forwarding the server's classification verbatim;
+//! * a frame we cannot parse (version skew, malformed) → exit 6
+//!   (`PROTOCOL`).
+//!
+//! Fetched segments are raw `mbseg1` lines; [`fetch`] writes them to
+//! a file and chain-verifies with [`crate::transport::load_segment`]
+//! before reporting success, so a truncated or tampered wire transfer
+//! is a typed corruption error (exit 3), never a quietly short file.
+
+use crate::protocol::{self, JobState, JobStatus, ProtocolError, Reply, Request};
+use crate::transport::{self, TransportError};
+use std::fmt;
+use std::fs;
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::path::Path;
+
+/// Everything a client call can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Wire fault: connect/read/write failure or an unparseable frame.
+    Protocol(ProtocolError),
+    /// The server answered with a typed error.
+    Server {
+        /// Exit code the server assigned.
+        code: u8,
+        /// The server's message.
+        msg: String,
+    },
+    /// Typed backpressure: the job queue is at its bound.
+    Busy {
+        /// Jobs queued at the server.
+        queued: usize,
+        /// The server's queue bound.
+        cap: usize,
+    },
+    /// The server answered with a frame this request cannot accept.
+    Unexpected {
+        /// The frame received.
+        got: String,
+    },
+    /// A fetched segment failed chain verification.
+    Transport(TransportError),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Protocol(e) => write!(f, "{e}"),
+            ClientError::Server { code, msg } => write!(f, "server error (code {code}): {msg}"),
+            ClientError::Busy { queued, cap } => write!(
+                f,
+                "server busy: job queue at its bound ({queued}/{cap}); retry later"
+            ),
+            ClientError::Unexpected { got } => write!(f, "unexpected reply frame: '{got}'"),
+            ClientError::Transport(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+impl From<TransportError> for ClientError {
+    fn from(e: TransportError) -> Self {
+        ClientError::Transport(e)
+    }
+}
+
+impl ClientError {
+    /// Exit code under the workspace contract (see module docs).
+    pub fn exit_code(&self) -> u8 {
+        use mb_simcore::error::exit_code;
+        match self {
+            ClientError::Protocol(e) => e.exit_code(),
+            ClientError::Server { code, .. } => *code,
+            ClientError::Busy { .. } => exit_code::UNAVAILABLE,
+            ClientError::Unexpected { .. } => exit_code::PROTOCOL,
+            ClientError::Transport(e) => e.exit_code(),
+        }
+    }
+}
+
+/// One open request: reader for replies, writer already flushed.
+struct Session {
+    reader: BufReader<TcpStream>,
+}
+
+impl Session {
+    fn open(addr: &str, request: &Request) -> Result<Session, ClientError> {
+        let mut stream = TcpStream::connect(addr).map_err(ProtocolError::Io)?;
+        protocol::write_frame(&mut stream, &request.render())?;
+        Ok(Session {
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Reads one reply frame; EOF and `err`/`busy` replies are typed.
+    fn reply(&mut self) -> Result<Reply, ClientError> {
+        let line = protocol::read_frame(&mut self.reader)?
+            .ok_or(ClientError::Protocol(ProtocolError::Truncated { got: 0 }))?;
+        match Reply::parse(&line)? {
+            Reply::Err { code, msg } => Err(ClientError::Server { code, msg }),
+            Reply::Busy { queued, cap } => Err(ClientError::Busy { queued, cap }),
+            other => Ok(other),
+        }
+    }
+
+    /// Reads one raw (non-frame) line, as used by segment streaming.
+    fn raw_line(&mut self) -> Result<String, ClientError> {
+        protocol::read_frame(&mut self.reader)?
+            .ok_or(ClientError::Protocol(ProtocolError::Truncated { got: 0 }))
+    }
+}
+
+/// Submits a shard family; returns `(job id, queue depth)`.
+///
+/// # Errors
+///
+/// Any [`ClientError`]; [`ClientError::Busy`] is the typed
+/// backpressure case.
+pub fn submit(addr: &str, campaign: &str, shards: u32) -> Result<(String, usize), ClientError> {
+    let mut s = Session::open(
+        addr,
+        &Request::Submit {
+            campaign: campaign.to_string(),
+            shards,
+        },
+    )?;
+    match s.reply()? {
+        Reply::Submitted { job, queued } => Ok((job, queued)),
+        other => Err(ClientError::Unexpected { got: other.render() }),
+    }
+}
+
+/// Snapshots one job, or every job when `job` is `None`.
+///
+/// # Errors
+///
+/// Any [`ClientError`].
+pub fn status(addr: &str, job: Option<&str>) -> Result<Vec<JobStatus>, ClientError> {
+    let mut s = Session::open(
+        addr,
+        &Request::Status {
+            job: job.map(str::to_string),
+        },
+    )?;
+    match job {
+        Some(_) => match s.reply()? {
+            Reply::Job(snapshot) => Ok(vec![snapshot]),
+            other => Err(ClientError::Unexpected { got: other.render() }),
+        },
+        None => {
+            let mut all = Vec::new();
+            loop {
+                match s.reply()? {
+                    Reply::Job(snapshot) => all.push(snapshot),
+                    Reply::End { count } => {
+                        if count != all.len() {
+                            return Err(ClientError::Unexpected {
+                                got: format!("end count={count} after {} snapshots", all.len()),
+                            });
+                        }
+                        return Ok(all);
+                    }
+                    other => return Err(ClientError::Unexpected { got: other.render() }),
+                }
+            }
+        }
+    }
+}
+
+/// The terminal frame a `watch` stream ends with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchOutcome {
+    /// Terminal state.
+    pub state: JobState,
+    /// Merged digest (fully measured campaigns only).
+    pub digest: Option<u64>,
+    /// Whether the digest was checked against a registry pin.
+    pub checked: bool,
+    /// Postmortem / degradation note.
+    pub detail: Option<String>,
+}
+
+/// Watches a job to its terminal state, feeding every progress frame
+/// to `on_progress(done, total, eta_ms)`.
+///
+/// # Errors
+///
+/// Any [`ClientError`].
+pub fn watch(
+    addr: &str,
+    job: &str,
+    mut on_progress: impl FnMut(usize, usize, Option<u64>),
+) -> Result<WatchOutcome, ClientError> {
+    let mut s = Session::open(
+        addr,
+        &Request::Watch {
+            job: job.to_string(),
+        },
+    )?;
+    loop {
+        match s.reply()? {
+            Reply::Progress {
+                done, total, eta_ms, ..
+            } => on_progress(done, total, eta_ms),
+            Reply::Done {
+                state,
+                digest,
+                checked,
+                detail,
+                ..
+            } => {
+                return Ok(WatchOutcome {
+                    state,
+                    digest,
+                    checked,
+                    detail,
+                })
+            }
+            other => return Err(ClientError::Unexpected { got: other.render() }),
+        }
+    }
+}
+
+/// Cancels a job (idempotent); returns the post-cancel snapshot. A
+/// running job is cancelled cooperatively — its state flips once the
+/// supervisor has killed the family, so the snapshot may still say
+/// `running`; `watch` observes the flip.
+///
+/// # Errors
+///
+/// Any [`ClientError`].
+pub fn cancel(addr: &str, job: &str) -> Result<JobStatus, ClientError> {
+    let mut s = Session::open(
+        addr,
+        &Request::Cancel {
+            job: job.to_string(),
+        },
+    )?;
+    match s.reply()? {
+        Reply::Job(snapshot) => Ok(snapshot),
+        other => Err(ClientError::Unexpected { got: other.render() }),
+    }
+}
+
+/// Fetches a done job's merged journal as an `mbseg1` segment file at
+/// `out`, chain-verifying it before reporting the record count.
+///
+/// # Errors
+///
+/// Any [`ClientError`]; a segment that fails verification is
+/// [`ClientError::Transport`] (exit 3) and the file is removed.
+pub fn fetch(addr: &str, job: &str, out: &Path) -> Result<usize, ClientError> {
+    let mut s = Session::open(
+        addr,
+        &Request::Fetch {
+            job: job.to_string(),
+        },
+    )?;
+    let lines = match s.reply()? {
+        Reply::Segment { lines } => lines,
+        other => return Err(ClientError::Unexpected { got: other.render() }),
+    };
+    let mut text = String::new();
+    for _ in 0..lines {
+        text.push_str(&s.raw_line()?);
+        text.push('\n');
+    }
+    fs::write(out, &text).map_err(|e| ClientError::Protocol(ProtocolError::Io(e)))?;
+    match transport::load_segment(out) {
+        Ok(segment) => Ok(segment.records.len()),
+        Err(e) => {
+            let _ = fs::remove_file(out);
+            Err(ClientError::Transport(e))
+        }
+    }
+}
+
+/// Liveness probe.
+///
+/// # Errors
+///
+/// Any [`ClientError`].
+pub fn ping(addr: &str) -> Result<(), ClientError> {
+    let mut s = Session::open(addr, &Request::Ping)?;
+    match s.reply()? {
+        Reply::Pong => Ok(()),
+        other => Err(ClientError::Unexpected { got: other.render() }),
+    }
+}
+
+/// Asks the server to stop accepting work and exit once running jobs
+/// drain; returns how many jobs were still running.
+///
+/// # Errors
+///
+/// Any [`ClientError`].
+pub fn shutdown(addr: &str) -> Result<usize, ClientError> {
+    let mut s = Session::open(addr, &Request::Shutdown)?;
+    match s.reply()? {
+        Reply::Stopping { running } => Ok(running),
+        other => Err(ClientError::Unexpected { got: other.render() }),
+    }
+}

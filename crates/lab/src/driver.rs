@@ -171,6 +171,11 @@ pub fn run_campaign_with(
     let shard = opts.shard;
     let labels = campaign.task_labels();
     let n = labels.len();
+    // Exclusive ownership for the whole run: a second concurrent
+    // writer would interleave appends and break the digest chain.
+    // Held until this function returns (success or error).
+    let _lock = crate::lock::PathLock::acquire_guarding(journal_path)
+        .map_err(JournalError::Locked)?;
     let journal = Journal::open_or_create(journal_path, expected_header(campaign, shard))?;
     let recovered_torn_tail = journal.torn_tail;
     let replayed = journal.records.len();

@@ -122,6 +122,10 @@ pub enum JournalError {
         /// The contained panic, rendered (label + payload text).
         detail: String,
     },
+    /// The journal's ownership lock is held by a live process — a
+    /// second writer would interleave appends and break the chain, so
+    /// the run refuses to start (see [`crate::lock`]).
+    Locked(crate::lock::LockError),
 }
 
 impl fmt::Display for JournalError {
@@ -174,6 +178,7 @@ impl fmt::Display for JournalError {
             JournalError::SlotFailed { slot, detail } => {
                 write!(f, "slot {slot} failed: {detail}")
             }
+            JournalError::Locked(e) => write!(f, "{e}"),
         }
     }
 }
@@ -204,6 +209,7 @@ impl JournalError {
             | JournalError::HeaderMismatch { .. }
             | JournalError::BadShardFamily { .. }
             | JournalError::IncompleteMerge { .. } => exit_code::ENV_MISCONFIG,
+            JournalError::Locked(e) => e.exit_code(),
         }
     }
 }

@@ -18,7 +18,20 @@
 //! * [`supervise`] — the shard-family babysitter: restart-on-crash
 //!   with seeded bounded backoff, clock-free hang detection and
 //!   poison-slot quarantine, reporting a machine-readable
-//!   [`supervise::SuperviseReport`].
+//!   [`supervise::SuperviseReport`];
+//! * [`lock`] — pid-liveness ownership lockfiles so journals, family
+//!   dirs and server data dirs have exactly one live writer (typed
+//!   exit-5 refusal, stale locks stolen from dead owners);
+//! * [`protocol`] — the versioned `mbsrv1` line protocol of the
+//!   service mode: typed frames, canonical renderings, hard typed
+//!   rejection of malformed/oversized/truncated input;
+//! * [`serve`] — the always-on campaign service: a TCP supervisor
+//!   multiplexing many shard families over a bounded worker pool,
+//!   with typed `busy` backpressure, streaming `watch` progress and
+//!   resume-on-restart from persisted job state;
+//! * [`client`] — the client half: submit/status/watch/cancel/fetch
+//!   over the socket, mapping typed server errors back to the
+//!   documented exit codes.
 //!
 //! The determinism contract is the workspace-wide one: a campaign run
 //! killed at any instant and resumed, or split across any shard count
@@ -27,13 +40,20 @@
 //! digests under multiple `MB_THREADS` values.
 
 pub mod campaign;
+pub mod client;
 pub mod driver;
 pub mod journal;
+pub mod lock;
+pub mod protocol;
+pub mod serve;
 pub mod supervise;
 pub mod transport;
 
 pub use campaign::{digest, Campaign};
 pub use driver::{digest_journal, expected_header, run_campaign, RunOutcome, Shard};
 pub use journal::{merge, merge_allowing, Journal, JournalError, JournalHeader};
-pub use supervise::{supervise, SupervisePolicy, SuperviseReport};
+pub use lock::{LockError, PathLock};
+pub use protocol::{JobState, JobStatus, ProtocolError, Reply, Request};
+pub use serve::{serve, ServeError, ServePolicy, ServeSummary};
+pub use supervise::{supervise, supervise_cancellable, SupervisePolicy, SuperviseReport};
 pub use transport::{export_segment, ingest_segment, IngestOutcome, TransportError};

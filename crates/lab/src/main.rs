@@ -1,5 +1,5 @@
-//! `mb-lab` CLI — run, shard, supervise, merge and digest experiment
-//! campaigns.
+//! `mb-lab` CLI — run, shard, supervise, serve, merge and digest
+//! experiment campaigns.
 //!
 //! ```text
 //! mb-lab list
@@ -9,11 +9,24 @@
 //!        [--hang-polls n] [--poison-threshold k] [--max-restarts n]
 //!        [--backoff-base-ms d] [--backoff-cap-ms d] [--max-polls n]
 //!        [--task-delay-ms d] [--chaos-kills n]
+//! mb-lab serve --dir <path> [--bind host:port] [--queue-cap n] [--workers n]
+//!        [--poll-ms d] [--task-delay-ms d]
+//! mb-lab submit <campaign> --addr host:port [--shards N]
+//! mb-lab status [job] --addr host:port
+//! mb-lab watch <job> --addr host:port
+//! mb-lab cancel <job> --addr host:port
+//! mb-lab fetch <job> <segment> --addr host:port
+//! mb-lab ping --addr host:port
+//! mb-lab shutdown --addr host:port
 //! mb-lab export <journal> <segment> [--from k]
 //! mb-lab ingest <journal> <segment>
 //! mb-lab merge <out> <in>...
 //! mb-lab digest <journal> [--expect 0xHEX] [--check]
 //! ```
+//!
+//! The client subcommands (`submit` … `shutdown`) speak the `mbsrv1`
+//! line protocol to an `mb-lab serve` instance; `--addr` falls back
+//! to the `MB_ADDR` environment variable.
 //!
 //! ## Exit codes
 //!
@@ -28,7 +41,10 @@
 //! | 2    | usage: unknown flag, missing operand, malformed value    |
 //! | 3    | journal/segment corruption (chain break, version skew, …)|
 //! | 4    | a campaign slot panicked (restartable, maybe poisoned)   |
-//! | 5    | env/shard misconfiguration (bad `MB_*`, wrong campaign, …)|
+//! | 5    | env/shard misconfiguration (bad `MB_*`, wrong campaign, a |
+//! |      | data dir/journal owned by a live process, …)             |
+//! | 6    | `mbsrv1` protocol fault (skew, malformed/oversized frame)|
+//! | 7    | server unavailable or busy (typed backpressure; retry)   |
 //!
 //! The shard assignment comes from `--shard i/N` or, failing that, the
 //! `MB_SHARD` environment variable (same syntax); default `0/1`. A
@@ -40,7 +56,7 @@
 //! `--times` prints per-slot wall times. Worker threads follow the
 //! workspace-wide `MB_THREADS` variable.
 
-use mb_lab::{campaign, driver, journal, supervise, transport};
+use mb_lab::{campaign, client, driver, journal, serve, supervise, transport};
 use mb_simcore::error::exit_code;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -52,6 +68,15 @@ fn usage() -> ExitCode {
          mb-lab supervise <campaign> --dir <path> [--shards N] [--poll-ms d] [--hang-polls n]\n    \
          [--poison-threshold k] [--max-restarts n] [--backoff-base-ms d] [--backoff-cap-ms d]\n    \
          [--max-polls n] [--task-delay-ms d] [--chaos-kills n]\n  \
+         mb-lab serve --dir <path> [--bind host:port] [--queue-cap n] [--workers n]\n    \
+         [--poll-ms d] [--task-delay-ms d]\n  \
+         mb-lab submit <campaign> --addr host:port [--shards N]\n  \
+         mb-lab status [job] --addr host:port\n  \
+         mb-lab watch <job> --addr host:port\n  \
+         mb-lab cancel <job> --addr host:port\n  \
+         mb-lab fetch <job> <segment> --addr host:port\n  \
+         mb-lab ping --addr host:port\n  \
+         mb-lab shutdown --addr host:port\n  \
          mb-lab export <journal> <segment> [--from k]\n  \
          mb-lab ingest <journal> <segment>\n  \
          mb-lab merge <out> <in>...\n  \
@@ -78,11 +103,338 @@ fn main() -> ExitCode {
         Some("list") => cmd_list(),
         Some("run") => cmd_run(&args[1..]),
         Some("supervise") => cmd_supervise(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
+        Some("status") => cmd_status(&args[1..]),
+        Some("watch") => cmd_watch(&args[1..]),
+        Some("cancel") => cmd_cancel(&args[1..]),
+        Some("fetch") => cmd_fetch(&args[1..]),
+        Some("ping") => cmd_ping(&args[1..]),
+        Some("shutdown") => cmd_shutdown(&args[1..]),
         Some("export") => cmd_export(&args[1..]),
         Some("ingest") => cmd_ingest(&args[1..]),
         Some("merge") => cmd_merge(&args[1..]),
         Some("digest") => cmd_digest(&args[1..]),
         _ => usage(),
+    }
+}
+
+/// Prints a client-layer error and maps it to its documented code.
+fn fail_client(e: &client::ClientError) -> ExitCode {
+    eprintln!("mb-lab: {e}");
+    ExitCode::from(e.exit_code())
+}
+
+/// Splits client-command args into `(positional operands, addr)`:
+/// `--addr host:port` with an `MB_ADDR` fallback, anything else
+/// positional. Errors (usage / missing addr) come back as exit codes.
+fn parse_client_args(args: &[String], positional_max: usize) -> Result<(Vec<String>, String), ExitCode> {
+    let mut positional = Vec::new();
+    let mut addr: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" if i + 1 < args.len() => {
+                addr = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--addr" => {
+                eprintln!("mb-lab: --addr requires a value");
+                return Err(ExitCode::from(exit_code::USAGE));
+            }
+            other if other.starts_with("--") => {
+                eprintln!("mb-lab: unknown client option '{other}'");
+                return Err(usage());
+            }
+            other => {
+                positional.push(other.to_string());
+                i += 1;
+            }
+        }
+    }
+    if positional.len() > positional_max {
+        eprintln!("mb-lab: too many operands");
+        return Err(usage());
+    }
+    let addr = match addr.or_else(|| std::env::var("MB_ADDR").ok()) {
+        Some(a) => a,
+        None => {
+            eprintln!("mb-lab: no server address (pass --addr host:port or set MB_ADDR)");
+            return Err(ExitCode::from(exit_code::ENV_MISCONFIG));
+        }
+    };
+    Ok((positional, addr))
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let mut dir: Option<PathBuf> = None;
+    let mut policy = serve::ServePolicy::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = |flag: &str| -> Result<&String, ExitCode> {
+            args.get(i + 1).ok_or_else(|| {
+                eprintln!("mb-lab: {flag} requires a value");
+                ExitCode::from(exit_code::USAGE)
+            })
+        };
+        macro_rules! numeric {
+            ($field:expr) => {{
+                let raw = match value(flag) {
+                    Ok(v) => v,
+                    Err(code) => return code,
+                };
+                match raw.parse() {
+                    Ok(v) => $field = v,
+                    Err(_) => {
+                        eprintln!("mb-lab: bad {flag} '{raw}'");
+                        return ExitCode::from(exit_code::USAGE);
+                    }
+                }
+                i += 2;
+            }};
+        }
+        match flag {
+            "--dir" => {
+                let raw = match value(flag) {
+                    Ok(v) => v,
+                    Err(code) => return code,
+                };
+                dir = Some(PathBuf::from(raw));
+                i += 2;
+            }
+            "--bind" => {
+                let raw = match value(flag) {
+                    Ok(v) => v,
+                    Err(code) => return code,
+                };
+                policy.bind = raw.clone();
+                i += 2;
+            }
+            "--queue-cap" => numeric!(policy.queue_cap),
+            "--workers" => numeric!(policy.workers),
+            "--poll-ms" => numeric!(policy.supervise.poll_ms),
+            "--task-delay-ms" => numeric!(policy.supervise.task_delay_ms),
+            other => {
+                eprintln!("mb-lab: unknown serve option '{other}'");
+                return usage();
+            }
+        }
+    }
+    let Some(dir) = dir else {
+        eprintln!("mb-lab: serve requires --dir <path>");
+        return usage();
+    };
+    match seed_from_env() {
+        Ok(Some(seed)) => policy.supervise.seed = seed,
+        Ok(None) => {}
+        Err(code) => return code,
+    }
+    let worker_exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("mb-lab: cannot locate own binary: {e}");
+            return ExitCode::from(exit_code::ENV_MISCONFIG);
+        }
+    };
+    match serve::serve(&dir, &worker_exe, &policy) {
+        Ok(summary) => {
+            println!(
+                "mb-lab serve: exiting: {} job(s) known, {} done, {} failed, {} cancelled, \
+                 {} left for the next server",
+                summary.jobs, summary.done, summary.failed, summary.cancelled, summary.queued_left
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("mb-lab: {e}");
+            ExitCode::from(e.exit_code())
+        }
+    }
+}
+
+fn cmd_submit(args: &[String]) -> ExitCode {
+    // Positional: the campaign. --shards rides along with --addr.
+    let mut shards = 2u32;
+    let mut rest: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--shards" if i + 1 < args.len() => {
+                let Ok(n) = args[i + 1].parse() else {
+                    eprintln!("mb-lab: bad --shards '{}'", args[i + 1]);
+                    return ExitCode::from(exit_code::USAGE);
+                };
+                shards = n;
+                i += 2;
+            }
+            other => {
+                rest.push(other.to_string());
+                i += 1;
+            }
+        }
+    }
+    let (positional, addr) = match parse_client_args(&rest, 1) {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
+    let Some(campaign_name) = positional.first() else {
+        eprintln!("mb-lab: submit requires a campaign name");
+        return usage();
+    };
+    if shards == 0 {
+        eprintln!("mb-lab: --shards must be at least 1");
+        return ExitCode::from(exit_code::USAGE);
+    }
+    match client::submit(&addr, campaign_name, shards) {
+        Ok((job, queued)) => {
+            println!("submitted {job} ({campaign_name}, {shards} shard(s), queue depth {queued})");
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail_client(&e),
+    }
+}
+
+fn print_job(s: &mb_lab::JobStatus) {
+    let digest = match s.digest {
+        Some(d) => format!("  digest {d:#018x}"),
+        None => String::new(),
+    };
+    println!(
+        "{:<6} {:<20} {:>2} shard(s)  {:<9} {:>4}/{:<4}{digest}",
+        s.job, s.campaign, s.shards, s.state.as_str(), s.done, s.total
+    );
+}
+
+fn cmd_status(args: &[String]) -> ExitCode {
+    let (positional, addr) = match parse_client_args(args, 1) {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
+    match client::status(&addr, positional.first().map(String::as_str)) {
+        Ok(jobs) => {
+            for s in &jobs {
+                print_job(s);
+            }
+            if positional.is_empty() {
+                println!("{} job(s)", jobs.len());
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail_client(&e),
+    }
+}
+
+fn cmd_watch(args: &[String]) -> ExitCode {
+    let (positional, addr) = match parse_client_args(args, 1) {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
+    let Some(job) = positional.first() else {
+        eprintln!("mb-lab: watch requires a job id");
+        return usage();
+    };
+    let mut last_done = usize::MAX;
+    let outcome = client::watch(&addr, job, |done, total, eta_ms| {
+        if done != last_done {
+            last_done = done;
+            match eta_ms {
+                Some(eta) => println!("{job}: {done}/{total} slot(s), eta {:.1}s", eta as f64 / 1000.0),
+                None => println!("{job}: {done}/{total} slot(s)"),
+            }
+        }
+    });
+    let outcome = match outcome {
+        Ok(o) => o,
+        Err(e) => return fail_client(&e),
+    };
+    use mb_lab::JobState;
+    match outcome.state {
+        JobState::Done => {
+            match outcome.digest {
+                Some(d) if outcome.checked => {
+                    println!("{job}: done, digest {d:#018x} (pinned digest check: ok)")
+                }
+                Some(d) => println!("{job}: done, digest {d:#018x} (no pin registered)"),
+                None => println!(
+                    "{job}: done (degraded: {})",
+                    outcome.detail.as_deref().unwrap_or("digest withheld")
+                ),
+            }
+            ExitCode::SUCCESS
+        }
+        state => {
+            eprintln!(
+                "mb-lab: {job} ended {}: {}",
+                state.as_str(),
+                outcome.detail.as_deref().unwrap_or("<no detail>")
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_cancel(args: &[String]) -> ExitCode {
+    let (positional, addr) = match parse_client_args(args, 1) {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
+    let Some(job) = positional.first() else {
+        eprintln!("mb-lab: cancel requires a job id");
+        return usage();
+    };
+    match client::cancel(&addr, job) {
+        Ok(s) => {
+            print_job(&s);
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail_client(&e),
+    }
+}
+
+fn cmd_fetch(args: &[String]) -> ExitCode {
+    let (positional, addr) = match parse_client_args(args, 2) {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
+    let (Some(job), Some(out)) = (positional.first(), positional.get(1)) else {
+        eprintln!("mb-lab: fetch requires a job id and an output segment path");
+        return usage();
+    };
+    match client::fetch(&addr, job, Path::new(out)) {
+        Ok(records) => {
+            println!("fetched {records} record(s) -> {out} (chain-verified)");
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail_client(&e),
+    }
+}
+
+fn cmd_ping(args: &[String]) -> ExitCode {
+    let (_, addr) = match parse_client_args(args, 0) {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
+    match client::ping(&addr) {
+        Ok(()) => {
+            println!("{addr}: alive");
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail_client(&e),
+    }
+}
+
+fn cmd_shutdown(args: &[String]) -> ExitCode {
+    let (_, addr) = match parse_client_args(args, 0) {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
+    match client::shutdown(&addr) {
+        Ok(running) => {
+            println!("{addr}: stopping ({running} job(s) draining)");
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail_client(&e),
     }
 }
 

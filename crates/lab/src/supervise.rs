@@ -142,6 +142,14 @@ pub enum SuperviseError {
         /// The pinned digest.
         pinned: u64,
     },
+    /// The family directory is already owned by a live supervisor —
+    /// two supervisors double-spawning workers against the same
+    /// journals is exactly the corruption the lockfile exists to stop.
+    Lock(crate::lock::LockError),
+    /// The family was cancelled via [`supervise_cancellable`]'s flag;
+    /// workers were killed, journals are intact, and a later run may
+    /// resume from them.
+    Cancelled,
 }
 
 impl fmt::Display for SuperviseError {
@@ -171,6 +179,10 @@ impl fmt::Display for SuperviseError {
                 f,
                 "merged digest mismatch: got {got:#018x}, pinned {pinned:#018x}"
             ),
+            SuperviseError::Lock(e) => write!(f, "{e}"),
+            SuperviseError::Cancelled => {
+                write!(f, "family cancelled; journals intact, resumable")
+            }
         }
     }
 }
@@ -212,8 +224,16 @@ impl SuperviseError {
             SuperviseError::WorkerUnretryable { code, .. } => *code,
             SuperviseError::RestartsExhausted { .. }
             | SuperviseError::PollBudgetExhausted { .. }
-            | SuperviseError::DigestMismatch { .. } => exit_code::FAILURE,
+            | SuperviseError::DigestMismatch { .. }
+            | SuperviseError::Cancelled => exit_code::FAILURE,
+            SuperviseError::Lock(e) => e.exit_code(),
         }
+    }
+}
+
+impl From<crate::lock::LockError> for SuperviseError {
+    fn from(e: crate::lock::LockError) -> Self {
+        SuperviseError::Lock(e)
     }
 }
 
@@ -567,10 +587,34 @@ pub fn supervise(
     worker_exe: &Path,
     policy: &SupervisePolicy,
 ) -> Result<SuperviseReport, SuperviseError> {
+    supervise_cancellable(campaign_name, dir, worker_exe, policy, None)
+}
+
+/// [`supervise`] with a cooperative cancellation flag: when `cancel`
+/// flips to `true` the supervisor kills every live worker at the next
+/// poll and returns [`SuperviseError::Cancelled`]. Journals stay
+/// intact, so a later run (or a restarted server) resumes the family
+/// from where the cancellation landed. The serve layer owns the flag;
+/// passing `None` is exactly [`supervise`].
+///
+/// # Errors
+///
+/// As [`supervise`], plus [`SuperviseError::Cancelled`].
+pub fn supervise_cancellable(
+    campaign_name: &str,
+    dir: &Path,
+    worker_exe: &Path,
+    policy: &SupervisePolicy,
+    cancel: Option<&std::sync::atomic::AtomicBool>,
+) -> Result<SuperviseReport, SuperviseError> {
     let campaign: Box<dyn Campaign> = campaign::find(campaign_name)
         .ok_or_else(|| SuperviseError::UnknownCampaign(campaign_name.to_string()))?;
     let tasks = campaign.task_labels().len();
     fs::create_dir_all(dir)?;
+    // Sole ownership of the family dir for the whole run: two
+    // supervisors would double-spawn workers against the same
+    // journals. Held until this function returns.
+    let _lock = crate::lock::PathLock::acquire(&dir.join("supervise.lock"))?;
 
     let mut quarantine = load_quarantine(dir)?;
     let mut workers: Vec<WorkerState> = (0..policy.shards)
@@ -597,6 +641,9 @@ pub fn supervise(
 
     let mut poll = 0u64;
     let result = loop {
+        if cancel.is_some_and(|c| c.load(std::sync::atomic::Ordering::Relaxed)) {
+            break Err(SuperviseError::Cancelled);
+        }
         if poll >= policy.max_polls {
             break Err(SuperviseError::PollBudgetExhausted {
                 max_polls: policy.max_polls,

@@ -263,3 +263,97 @@ fn bounded_run_truncates_then_completes() {
     );
     let _ = fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn journal_owned_by_a_live_process_is_refused_with_exit_5() {
+    let dir = scratch("lock-live");
+    let journal = dir.join("contested.journal");
+    // Plant a lockfile owned by this very test process — maximally
+    // alive — where `mb-lab run` will try to claim the journal.
+    fs::write(
+        dir.join("contested.journal.lock"),
+        format!("{}\n", std::process::id()),
+    )
+    .expect("plant lockfile");
+
+    let output = mb_lab()
+        .args(["run", "selftest", "--journal"])
+        .arg(&journal)
+        .output()
+        .expect("run against owned journal");
+    assert_eq!(
+        output.status.code(),
+        Some(5),
+        "a journal owned by a live process must be refused with exit 5\nstderr:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("already owned by live process"),
+        "ownership diagnostic missing: {stderr}"
+    );
+    assert!(
+        !journal.exists(),
+        "the refused run must not have touched the journal"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stale_lock_from_a_dead_process_is_stolen() {
+    let dir = scratch("lock-stale");
+    let journal = dir.join("abandoned.journal");
+    // Plant lockfiles no live process owns: a pid far beyond pid_max
+    // and a garbled one torn mid-write. Both are stale claims the next
+    // writer must steal instead of deadlocking forever.
+    for stale in ["999999999", "not-a-pid"] {
+        fs::write(dir.join("abandoned.journal.lock"), stale).expect("plant stale lockfile");
+        let output = mb_lab()
+            .args(["run", "selftest", "--journal"])
+            .arg(&journal)
+            .args(["--max-slots", "2"])
+            .output()
+            .expect("run against stale lock");
+        assert!(
+            output.status.success(),
+            "a stale lock ('{stale}') must be stolen, not honored\nstderr:\n{}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        let _ = fs::remove_file(&journal);
+    }
+    // The lock must not outlive the run that stole it.
+    assert!(
+        !dir.join("abandoned.journal.lock").exists(),
+        "the lockfile must be released when the run exits"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn supervise_dir_owned_by_a_live_process_is_refused_with_exit_5() {
+    let dir = scratch("lock-supervise");
+    fs::create_dir_all(&dir).expect("create family dir");
+    fs::write(
+        dir.join("supervise.lock"),
+        format!("{}\n", std::process::id()),
+    )
+    .expect("plant supervise lockfile");
+
+    let output = mb_lab()
+        .args(["supervise", "fig3-quick", "--dir"])
+        .arg(&dir)
+        .output()
+        .expect("supervise against owned dir");
+    assert_eq!(
+        output.status.code(),
+        Some(5),
+        "a family dir owned by a live process must be refused with exit 5\nstderr:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("already owned by live process"),
+        "ownership diagnostic missing: {stderr}"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -44,8 +44,17 @@ pub mod exit_code {
     pub const SLOT_PANIC: u8 = 4;
     /// Environment or shard misconfiguration: malformed `MB_*`
     /// variables, header/campaign mismatches, unknown campaign names,
-    /// inconsistent shard families.
+    /// inconsistent shard families, a data dir already owned by a live
+    /// process (ownership lockfiles).
     pub const ENV_MISCONFIG: u8 = 5;
+    /// An `mbsrv1` wire-protocol fault: version skew, a malformed or
+    /// oversized frame, mid-frame truncation, or an unexpected reply.
+    /// Mirrored on the wire as the `err code=6` reply.
+    pub const PROTOCOL: u8 = 6;
+    /// The server is unreachable or shedding load: a refused/dropped
+    /// connection, or a typed `busy` backpressure reply from a full
+    /// job queue. Retryable — nothing about the request itself is bad.
+    pub const UNAVAILABLE: u8 = 7;
 }
 
 /// A recoverable failure anywhere in the simulation stack.
@@ -183,8 +192,10 @@ mod tests {
             exit_code::CORRUPT,
             exit_code::SLOT_PANIC,
             exit_code::ENV_MISCONFIG,
+            exit_code::PROTOCOL,
+            exit_code::UNAVAILABLE,
         ];
-        assert_eq!(all, [1, 2, 3, 4, 5]);
+        assert_eq!(all, [1, 2, 3, 4, 5, 6, 7]);
     }
 
     #[test]

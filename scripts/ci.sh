@@ -100,10 +100,59 @@ fi
 
 echo "==> mb-lab exit-code contract (CLI + chaos suites)"
 # The documented exit taxonomy (2 usage / 3 corruption / 4 slot panic /
-# 5 env misconfig) and the chaos harness are tier-1, but name them
-# explicitly so a contract regression fails loudly here, not as one
-# line in the workspace wall of dots.
+# 5 env misconfig / 6 protocol / 7 unavailable) and the chaos harnesses
+# are tier-1, but name them explicitly so a contract regression fails
+# loudly here, not as one line in the workspace wall of dots.
 cargo test --release -p mb-lab --test cli --test supervise_chaos --quiet
+cargo test --release -p mb-lab \
+    --test protocol_format --test serve_soak --test serve_chaos --quiet
+
+echo "==> mb-lab serve smoke (submit/watch/fetch over the socket, SIGKILL + resume)"
+# The always-on service end to end: start a server, submit fig3-quick
+# over the mbsrv1 socket, SIGKILL the whole server process group
+# mid-campaign, restart on the same data dir, and the resumed family
+# must still converge to the pinned digest — fetched over the wire,
+# chain-verified, and digest-checked through the CLI gate. Budget 60 s.
+serve_start=$(date +%s%N)
+MB_LAB=target/release/mb-lab
+SERVE_DIR="$LAB_DIR/serve"
+mkdir -p "$SERVE_DIR"
+setsid "$MB_LAB" serve --dir "$SERVE_DIR/data" --task-delay-ms 120 \
+    > "$SERVE_DIR/serve1.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [ -s "$SERVE_DIR/data/addr.txt" ] && break; sleep 0.1; done
+ADDR="$(cat "$SERVE_DIR/data/addr.txt")"
+SUB_OUT="$("$MB_LAB" submit fig3-quick --addr "$ADDR" --shards 2)"
+JOB="$(sed -n 's/^submitted \(j[0-9]*\) .*/\1/p' <<<"$SUB_OUT")"
+[ -n "$JOB" ] || { echo "submit did not yield a job id: $SUB_OUT"; exit 1; }
+for _ in $(seq 1 200); do
+    "$MB_LAB" status "$JOB" --addr "$ADDR" | grep -qE ' [1-9][0-9]*/' && break
+    sleep 0.1
+done
+kill -9 -- "-$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+setsid "$MB_LAB" serve --dir "$SERVE_DIR/data" \
+    > "$SERVE_DIR/serve2.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$SERVE_DIR/data/addr.txt" ] && "$MB_LAB" ping --addr "$(cat "$SERVE_DIR/data/addr.txt")" \
+        > /dev/null 2>&1 && break
+    sleep 0.1
+done
+ADDR="$(cat "$SERVE_DIR/data/addr.txt")"
+WATCH_OUT="$("$MB_LAB" watch "$JOB" --addr "$ADDR")"
+grep -q "pinned digest check: ok" <<<"$WATCH_OUT" \
+    || { echo "resumed serve job missed the pin: $WATCH_OUT"; exit 1; }
+"$MB_LAB" fetch "$JOB" "$SERVE_DIR/fetched.seg" --addr "$ADDR"
+"$MB_LAB" ingest "$SERVE_DIR/remote.journal" "$SERVE_DIR/fetched.seg"
+"$MB_LAB" digest "$SERVE_DIR/remote.journal" --expect 0xd0d5f716d0b30356 --check
+"$MB_LAB" shutdown --addr "$ADDR"
+wait "$SERVE_PID" 2>/dev/null || true
+serve_elapsed_ms=$(( ($(date +%s%N) - serve_start) / 1000000 ))
+echo "    serve smoke wall time: ${serve_elapsed_ms} ms (budget 60000 ms)"
+if [ "$serve_elapsed_ms" -ge 60000 ]; then
+    echo "serve smoke exceeded its 60 s wall-time budget"; exit 1
+fi
 
 echo "==> campaign_eta (paper-grid cost model -> BENCH_campaigns.json)"
 cargo run --release -p mb-bench --bin campaign_eta
